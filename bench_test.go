@@ -1,0 +1,424 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper's evaluation. One testing.B benchmark per table /
+// figure; each prints the same rows or series the paper reports (run with
+// -benchtime=1x to execute each experiment once):
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// Shapes to compare against the paper (EXPERIMENTS.md records a full run):
+//
+//	Fig 6  hours/day mode at 16h; days/week mode at 1
+//	Fig 7  consecutive-hour peaks at 16/40/64; day peaks at 7x and 7x+6
+//	Tab 2  full-week and workweek patterns at the top
+//	Fig 8  same-tower correlation spike; distance-independent twins
+//	Fig 9  classifiers > Average > Persist/Trend; Persist peaks h=7,14
+//	Fig 10 RF models beat Average by ~10-20% on hot spots
+//	Fig 11 classifiers >> baselines for h <= 15 on emerging hot spots
+//	Fig 12 delta vs Average collapses for h >= 19
+//	Fig 13 lift plateaus at w = 7
+//	Fig 15 scores dominate importance; calendar negligible
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/forecast"
+	"repro/internal/mltree"
+	"repro/internal/randx"
+	"repro/internal/simnet"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+	benchEnvErr  error
+)
+
+// env prepares one shared small-scale environment for all benches.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		scale := experiments.SmallScale()
+		scale.Sectors = 400
+		benchEnv, benchEnvErr = experiments.Prepare(scale)
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnv
+}
+
+func BenchmarkFig01KPIExamples(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig01KPIExamples(e)
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFig02ScoreAndLabel(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig02ScoreAndLabel(e)
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFig03LabelRaster(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig03LabelRaster(e)
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFig04ScoreHistogram(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig04ScoreHistogram(e)
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFig05Imputation(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig05Imputation(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFig06HotSpotHistograms(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig06HotSpotHistograms(e)
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFig07ConsecutiveRuns(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig07ConsecutiveRuns(e)
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkTab02WeeklyPatterns(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Tab02WeeklyPatterns(e)
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFig08SpatialCorrelation(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig08SpatialCorrelation(e)
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkSecVATemporalStability(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunStabilityExperiment(e, forecast.BeHot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+// hot-spot horizon results feed both Fig 9 and Fig 10; run once per bench.
+func BenchmarkFig09HotspotLift(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHorizonExperiment(e, forecast.BeHot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFig10HotspotDelta(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHorizonExperiment(e, forecast.BeHot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\nmean delta vs Average: Tree %+.0f%% RF-R %+.0f%% RF-F1 %+.0f%% RF-F2 %+.0f%% (paper: Tree +6%%, RF-F1 +14%%)",
+				res.MeanDelta("Tree", nil), res.MeanDelta("RF-R", nil),
+				res.MeanDelta("RF-F1", nil), res.MeanDelta("RF-F2", nil))
+		}
+	}
+}
+
+func BenchmarkFig11BecomeLift(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHorizonExperiment(e, forecast.BecomeHot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFig12BecomeDelta(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHorizonExperiment(e, forecast.BecomeHot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			short := func(h int) bool { return h <= 15 }
+			long := func(h int) bool { return h >= 19 }
+			b.Logf("\nbecome delta vs Average: short horizons %+.0f%%, long horizons %+.0f%% (paper: up to +153%% short, ~0%% for h>=19)",
+				res.MeanDelta("RF-F1", short), res.MeanDelta("RF-F1", long))
+		}
+	}
+}
+
+func BenchmarkFig13HotspotPastWindow(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunWindowExperiment(e, forecast.BeHot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFig14BecomePastWindow(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunWindowExperiment(e, forecast.BecomeHot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFig15FeatureImportance(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunImportanceExperiment(e, forecast.BeHot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+func BenchmarkFig16BecomeImportance(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunImportanceExperiment(e, forecast.BecomeHot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches for the design choices DESIGN.md §7 calls out.
+
+// BenchmarkAblationBalancedWeights compares balanced vs unbalanced sample
+// weights for the single-tree model (DESIGN.md §7).
+func BenchmarkAblationBalancedWeights(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationBalancedWeights(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+// BenchmarkAblationSpatial tests the paper's spatially unconstrained
+// training (Fig. 8C conclusion) against a city-local model (DESIGN.md §7).
+func BenchmarkAblationSpatial(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationSpatial(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+// BenchmarkPRCurves reports the precision-recall operating points behind
+// the average-precision measure (Sec. IV-B).
+func BenchmarkPRCurves(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPRCurves(e, forecast.BeHot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+// BenchmarkAblationExtractors compares the cost of the three feature
+// representations on identical windows.
+func BenchmarkAblationExtractors(b *testing.B) {
+	e := env(b)
+	for _, m := range []forecast.Model{forecast.NewRFR(), forecast.NewRFF1(), forecast.NewRFF2()} {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Forecast(e.Ctx, forecast.BeHot, 60, 5, 7); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionGBT runs the gradient-boosted extension model against
+// RF-F1 at a short and a long horizon — the paper's conclusion conjectures
+// higher-capacity learners help most at long range.
+func BenchmarkExtensionGBT(b *testing.B) {
+	e := env(b)
+	for _, h := range []int{1, 26} {
+		for _, m := range []forecast.Model{forecast.NewRFF1(), forecast.NewGBT()} {
+			b.Run(fmt.Sprintf("%s/h=%d", m.Name(), h), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					scores, err := m.Forecast(e.Ctx, forecast.BeHot, 60, h, 7)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						labels := e.Set.Yd.Col(60 + h)
+						ap := eval.AveragePrecision(scores, labels)
+						b.Logf("%s h=%d: AP %.3f (lift %.1f)", m.Name(), h, ap,
+							eval.Lift(ap, eval.Prevalence(labels)))
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks for the substrates.
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := simnet.DefaultConfig()
+	cfg.Sectors = 200
+	cfg.Weeks = 6
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := simnet.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	rng := randx.New(1, 2)
+	n, f := 2000, 100
+	x := make([]float64, n*f)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < f; j++ {
+			v := rng.Norm(0, 1)
+			x[i*f+j] = v
+			if j < 5 {
+				s += v
+			}
+		}
+		if s > 0 {
+			y[i] = 1
+		}
+	}
+	w := mltree.BalancedWeights(y, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := mltree.DefaultForestConfig()
+		cfg.NumTrees = 10
+		cfg.Seed = uint64(i + 1)
+		if _, err := mltree.FitForest(x, n, f, y, w, 2, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

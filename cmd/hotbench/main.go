@@ -1,0 +1,168 @@
+// Command hotbench reproduces every table and figure of the paper's
+// evaluation in one run and prints an EXPERIMENTS-style report: the
+// descriptive analyses (Figs. 1-8, Table II), the forecasting study
+// (Figs. 9-14, Sec. V-A temporal stability) and the feature-importance
+// maps (Figs. 15-16).
+//
+// Usage:
+//
+//	hotbench -scale small     # minutes
+//	hotbench -scale default   # tens of minutes
+//	hotbench -scale full      # paper-sized t grid; hours
+//	hotbench -skip-forecast   # descriptive analyses only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/forecast"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hotbench: ")
+	var (
+		scaleName    = flag.String("scale", "small", "small | default | full")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		skipForecast = flag.Bool("skip-forecast", false, "run only the descriptive analyses")
+		skipImpute   = flag.Bool("skip-impute", false, "skip the Fig 5 autoencoder comparison")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.SmallScale()
+	case "default":
+		scale = experiments.DefaultScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	scale.Seed = *seed
+
+	start := time.Now()
+	env, err := experiments.Prepare(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prepared %d sectors x %d days (seed %d, %d discarded) in %v\n\n",
+		env.Ctx.Sectors(), env.Ctx.Days(), *seed, env.Discarded, time.Since(start).Round(time.Millisecond))
+
+	section := func(name string, f func() (string, error)) {
+		t0 := time.Now()
+		out, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s took %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	section("Fig 1", func() (string, error) { return experiments.Fig01KPIExamples(env).Format(), nil })
+	section("Fig 2", func() (string, error) { return experiments.Fig02ScoreAndLabel(env).Format(), nil })
+	section("Fig 3", func() (string, error) { return experiments.Fig03LabelRaster(env).Format(), nil })
+	section("Fig 4", func() (string, error) { return experiments.Fig04ScoreHistogram(env).Format(), nil })
+	if !*skipImpute {
+		section("Fig 5", func() (string, error) {
+			r, err := experiments.Fig05Imputation(env)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		})
+	}
+	section("Fig 6", func() (string, error) { return experiments.Fig06HotSpotHistograms(env).Format(), nil })
+	section("Fig 7", func() (string, error) { return experiments.Fig07ConsecutiveRuns(env).Format(), nil })
+	section("Table II", func() (string, error) { return experiments.Tab02WeeklyPatterns(env).Format(), nil })
+	section("Fig 8", func() (string, error) { return experiments.Fig08SpatialCorrelation(env).Format(), nil })
+
+	if *skipForecast {
+		return
+	}
+
+	section("Sec V-A", func() (string, error) {
+		r, err := experiments.RunStabilityExperiment(env, forecast.BeHot)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	var hot *experiments.HorizonResult
+	section("Figs 9-10", func() (string, error) {
+		r, err := experiments.RunHorizonExperiment(env, forecast.BeHot)
+		if err != nil {
+			return "", err
+		}
+		hot = r
+		return r.Format(), nil
+	})
+	section("Figs 11-12", func() (string, error) {
+		r, err := experiments.RunHorizonExperiment(env, forecast.BecomeHot)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	section("Fig 13", func() (string, error) {
+		r, err := experiments.RunWindowExperiment(env, forecast.BeHot)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	section("Fig 14", func() (string, error) {
+		r, err := experiments.RunWindowExperiment(env, forecast.BecomeHot)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	section("Fig 15", func() (string, error) {
+		r, err := experiments.RunImportanceExperiment(env, forecast.BeHot)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	section("Fig 16", func() (string, error) {
+		r, err := experiments.RunImportanceExperiment(env, forecast.BecomeHot)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+
+	section("PR curves", func() (string, error) {
+		r, err := experiments.RunPRCurves(env, forecast.BeHot)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	section("Ablations", func() (string, error) {
+		var b string
+		bw, err := experiments.RunAblationBalancedWeights(env)
+		if err != nil {
+			return "", err
+		}
+		b += bw.Format() + "\n"
+		sp, err := experiments.RunAblationSpatial(env)
+		if err != nil {
+			return "", err
+		}
+		b += sp.Format() + "\n"
+		return b, nil
+	})
+
+	if hot != nil {
+		fmt.Printf("headline: RF-F1 vs Average on hot spots: %+.0f%% (paper: +14%%)\n",
+			hot.MeanDelta("RF-F1", nil))
+	}
+	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,85 @@
+// Capacity planning: the paper's first motivating use case. Investment
+// plans are finalised weeks in advance, so the operator needs hot-spot
+// forecasts at long horizons (h = 29 days, four weeks ahead) to direct
+// capex toward the sectors that will actually underperform.
+//
+// The paper shows that even four weeks out, forecasts remain more than an
+// order of magnitude better than random, because persistent and
+// weekly-regular sectors carry most of the signal.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/forecast"
+	"repro/internal/mathx"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	p, err := core.NewPipeline(core.Config{
+		Seed:        11,
+		Sectors:     500,
+		Weeks:       18,
+		TrainDays:   4,
+		ForestTrees: 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d sectors over %d days\n\n", p.Sectors(), p.Days())
+
+	// Four-week-ahead forecasts at several planning days, comparing
+	// horizons the way Fig. 9 does.
+	const w = 7
+	horizons := []int{1, 7, 14, 29}
+	planningDays := []int{55, 65, 75}
+
+	fmt.Printf("%-6s", "h")
+	for _, model := range []string{"Average", "RF-F1"} {
+		fmt.Printf("%14s", model+" lift")
+	}
+	fmt.Println()
+	for _, h := range horizons {
+		var liftAvg, liftRF []float64
+		for _, t := range planningDays {
+			labels := p.Scores.Yd.Col(t + h)
+			prev := eval.Prevalence(labels)
+			if prev == 0 {
+				continue
+			}
+			avg, err := p.Forecast(core.Average, forecast.BeHot, t, h, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rf, err := p.Forecast(core.RFF1, forecast.BeHot, t, h, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			liftAvg = append(liftAvg, eval.Lift(eval.AveragePrecision(avg, labels), prev))
+			liftRF = append(liftRF, eval.Lift(eval.AveragePrecision(rf, labels), prev))
+		}
+		fmt.Printf("%-6d%14.1f%14.1f\n", h, mathx.Mean(liftAvg), mathx.Mean(liftRF))
+	}
+
+	// Produce the capex shortlist: sectors predicted hot four weeks out.
+	const t, h = 75, 29
+	scores, err := p.Forecast(core.RFF1, forecast.BeHot, t, h, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncapex shortlist for day %d (four weeks after day %d):\n", t+h, t)
+	classCounts := map[string]int{}
+	for _, sector := range core.TopK(scores, 20) {
+		classCounts[p.Dataset.Topo.Sectors[sector].Class.String()]++
+	}
+	for class, n := range classCounts {
+		fmt.Printf("  %-12s %d of top 20\n", class, n)
+	}
+	fmt.Println("\nfour-week forecasts stay far above random (paper: lift > 12 at h=29),")
+	fmt.Println("so the shortlist is a usable planning input despite the horizon.")
+}

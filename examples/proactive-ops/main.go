@@ -1,0 +1,102 @@
+// Proactive operations: the paper's second motivating use case. An
+// operator wants early warning of *emerging* hot spots — sectors that were
+// healthy but are about to degrade persistently — so field teams can
+// intervene before customers notice.
+//
+// This example trains the become-a-hot-spot forecaster and shows how the
+// usage/congestion precursor ramps make emerging sectors detectable days
+// ahead, while the Average-score baseline mostly ranks the already-hot
+// sectors that will never "become" hot.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/forecast"
+	"repro/internal/mathx"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	p, err := core.NewPipeline(core.Config{
+		Seed:        7,
+		Sectors:     700,
+		Weeks:       18,
+		TrainDays:   6,
+		ForestTrees: 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d sectors over %d days\n", p.Sectors(), p.Days())
+
+	// Count upcoming become-events so the demo targets days that have them.
+	becomeByDay := map[int]int{}
+	totalEvents := 0
+	for d := 0; d < p.Days(); d++ {
+		for i := 0; i < p.Sectors(); i++ {
+			if p.Ctx.YdBecome.At(i, d) > 0 {
+				becomeByDay[d]++
+				totalEvents++
+			}
+		}
+	}
+	fmt.Printf("emerging hot-spot events in the window: %d\n\n", totalEvents)
+
+	const h, w = 3, 7
+	evaluated, sumRF, sumAvg := 0, 0.0, 0.0
+	for t := 50; t <= 85; t++ {
+		evalDay := t + h
+		if becomeByDay[evalDay] == 0 {
+			continue
+		}
+		labels := p.Ctx.YdBecome.Col(evalDay)
+		rf, err := p.Forecast(core.RFF1, forecast.BecomeHot, t, h, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		avg, err := p.Forecast(core.Average, forecast.BecomeHot, t, h, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		apRF := eval.AveragePrecision(rf, labels)
+		apAvg := eval.AveragePrecision(avg, labels)
+		if math.IsNaN(apRF) || math.IsNaN(apAvg) {
+			continue
+		}
+		evaluated++
+		sumRF += apRF
+		sumAvg += apAvg
+		if evaluated <= 5 {
+			fmt.Printf("day %3d (+%d ahead): %d sectors about to turn hot; AP RF-F1 %.3f vs Average %.3f\n",
+				evalDay, h, becomeByDay[evalDay], apRF, apAvg)
+			reportHits(p, rf, labels)
+		}
+	}
+	if evaluated == 0 {
+		log.Fatal("no become-events in the evaluation range; increase sectors")
+	}
+	fmt.Printf("\nover %d event days: mean AP RF-F1 %.3f vs Average %.3f -> %+.0f%% (paper: classifiers up to +153%% on this task)\n",
+		evaluated, sumRF/float64(evaluated), sumAvg/float64(evaluated),
+		eval.Delta(sumAvg/float64(evaluated), sumRF/float64(evaluated)))
+}
+
+// reportHits prints where the true emerging sectors landed in the ranking.
+func reportHits(p *core.Pipeline, scores, labels []float64) {
+	order := mathx.ArgsortDesc(scores)
+	for rank, idx := range order {
+		if labels[idx] > 0 {
+			sec := p.Dataset.Topo.Sectors[idx]
+			fmt.Printf("    true emerging sector %d (%s area) ranked #%d of %d\n",
+				idx, sec.Class, rank+1, len(order))
+		}
+		if rank > 100 {
+			break
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: generate a synthetic cellular network, score it, forecast
+// tomorrow's hot spots with the paper's best model (RF-F1), and measure the
+// lift over a random ranking.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/forecast"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Build the pipeline: generate -> filter -> score -> label.
+	p, err := core.NewPipeline(core.Config{
+		Seed:        42,
+		Sectors:     300,
+		Weeks:       10,
+		TrainDays:   4,
+		ForestTrees: 16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d sectors over %d days (%d discarded by the missing-data filter)\n",
+		p.Sectors(), p.Days(), p.Discarded)
+
+	// 2. Forecast: at day t=50, predict hot spots for t+h with h=1 using
+	// one week of history (the paper's headline setting).
+	const t, h, w = 50, 1, 7
+	scores, err := p.Forecast(core.RFF1, forecast.BeHot, t, h, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Inspect the operator-facing ranking.
+	fmt.Printf("\ntop 10 sectors most likely to be hot on day %d:\n", t+h)
+	for rank, sector := range core.TopK(scores, 10) {
+		sec := p.Dataset.Topo.Sectors[sector]
+		fmt.Printf("  %2d. sector %-4d p=%.2f  (%s area, tower %d)\n",
+			rank+1, sector, scores[sector], sec.Class, sec.Tower)
+	}
+
+	// 4. Evaluate against the truth that day.
+	labels := p.Scores.Yd.Col(t + h)
+	ap := eval.AveragePrecision(scores, labels)
+	prev := eval.Prevalence(labels)
+	fmt.Printf("\naverage precision %.3f against prevalence %.3f -> lift %.1fx over random\n",
+		ap, prev, eval.Lift(ap, prev))
+
+	// 5. Compare with the strongest baseline.
+	avg, err := p.Forecast(core.Average, forecast.BeHot, t, h, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	apAvg := eval.AveragePrecision(avg, labels)
+	fmt.Printf("Average-baseline AP %.3f -> RF-F1 is %+.0f%% better (paper reports +14%% on this task)\n",
+		apAvg, eval.Delta(apAvg, ap))
+}

@@ -1,0 +1,205 @@
+// Package core is the public face of the reproduction: a Pipeline that
+// takes a cellular KPI dataset from raw measurements to hot-spot forecasts,
+// wiring together the substrates exactly as the paper's methodology
+// prescribes:
+//
+//	generate (or load) KPIs  ->  filter sectors with >50% missing weeks
+//	->  (optional) autoencoder imputation  ->  score chain S', S^h/d/w, Y
+//	->  forecast with baselines and tree-based models  ->  lift evaluation
+//
+// Example:
+//
+//	p, err := core.NewPipeline(core.Config{Sectors: 400, Seed: 7})
+//	...
+//	scores, err := p.Forecast(core.RFF1, forecast.BeHot, 60, 5, 7)
+//	report, err := p.Evaluate(forecast.BeHot, []int{60, 65}, []int{1, 7}, 7)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/forecast"
+	"repro/internal/impute"
+	"repro/internal/mathx"
+	"repro/internal/score"
+	"repro/internal/simnet"
+	"repro/internal/timegrid"
+)
+
+// ModelKind selects one of the paper's eight models.
+type ModelKind string
+
+// The Table III model set, plus the GBT extension (this repository's
+// implementation of the higher-capacity learner the paper's conclusion
+// points to; not part of the paper's own comparison).
+const (
+	Random  ModelKind = "Random"
+	Persist ModelKind = "Persist"
+	Average ModelKind = "Average"
+	Trend   ModelKind = "Trend"
+	Tree    ModelKind = "Tree"
+	RFR     ModelKind = "RF-R"
+	RFF1    ModelKind = "RF-F1"
+	RFF2    ModelKind = "RF-F2"
+	GBTF1   ModelKind = "GBT-F1"
+)
+
+// NewModel instantiates a model by kind.
+func NewModel(kind ModelKind) (forecast.Model, error) {
+	switch kind {
+	case Random:
+		return forecast.RandomModel{}, nil
+	case Persist:
+		return forecast.PersistModel{}, nil
+	case Average:
+		return forecast.AverageModel{}, nil
+	case Trend:
+		return forecast.TrendModel{}, nil
+	case Tree:
+		return forecast.NewTreeModel(), nil
+	case RFR:
+		return forecast.NewRFR(), nil
+	case RFF1:
+		return forecast.NewRFF1(), nil
+	case RFF2:
+		return forecast.NewRFF2(), nil
+	case GBTF1:
+		return forecast.NewGBT(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown model %q", kind)
+	}
+}
+
+// Config parameterises a Pipeline built from synthetic data.
+type Config struct {
+	// Seed drives the generator and every stochastic model.
+	Seed uint64
+	// Sectors is the approximate network size.
+	Sectors int
+	// Weeks is the observation window (default: the paper's 18).
+	Weeks int
+	// Impute enables autoencoder missing-value imputation before scoring
+	// (slower; off by default, the score chain tolerates missing values).
+	Impute bool
+	// ImputeConfig overrides the imputation settings when Impute is set.
+	ImputeConfig *impute.Config
+	// TrainDays and ForestTrees tune the classifier models.
+	TrainDays   int
+	ForestTrees int
+}
+
+// Pipeline is a prepared end-to-end hot-spot forecasting system.
+type Pipeline struct {
+	Dataset *simnet.Dataset
+	Scores  *score.Set
+	Ctx     *forecast.Context
+	// Discarded is the number of sectors dropped by the missing-data
+	// filter.
+	Discarded int
+}
+
+// NewPipeline generates a synthetic network and prepares the full chain.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	gen := simnet.DefaultConfig()
+	if cfg.Seed != 0 {
+		gen.Seed = cfg.Seed
+	}
+	if cfg.Sectors != 0 {
+		gen.Sectors = cfg.Sectors
+	}
+	if cfg.Weeks != 0 {
+		gen.Weeks = cfg.Weeks
+	}
+	ds, err := simnet.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	return FromDataset(ds, cfg)
+}
+
+// FromDataset prepares a pipeline from an existing dataset (e.g. loaded
+// from disk via simnet.LoadFile).
+func FromDataset(ds *simnet.Dataset, cfg Config) (*Pipeline, error) {
+	keep := score.FilterSectors(ds.K, 0.5)
+	discarded := ds.N() - len(keep)
+	sub := ds.SelectSectors(keep)
+
+	if cfg.Impute {
+		icfg := impute.DefaultConfig()
+		if cfg.ImputeConfig != nil {
+			icfg = *cfg.ImputeConfig
+		}
+		icfg.Seed = genSeed(cfg)
+		im, err := impute.Train(sub.K, icfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: training imputer: %w", err)
+		}
+		filled, err := im.Impute(sub.K)
+		if err != nil {
+			return nil, fmt.Errorf("core: imputing: %w", err)
+		}
+		sub.K = filled
+	}
+
+	set := score.Compute(sub.K, score.DefaultWeighting())
+	ctx, err := forecast.NewContext(sub.K, sub.Grid.Calendar(), set, genSeed(cfg))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TrainDays > 0 {
+		ctx.TrainDays = cfg.TrainDays
+	}
+	if cfg.ForestTrees > 0 {
+		ctx.ForestTrees = cfg.ForestTrees
+	}
+	return &Pipeline{Dataset: sub, Scores: set, Ctx: ctx, Discarded: discarded}, nil
+}
+
+func genSeed(cfg Config) uint64 {
+	if cfg.Seed != 0 {
+		return cfg.Seed
+	}
+	return 1
+}
+
+// Forecast runs one model at forecast day t, horizon h, window w and
+// returns per-sector ranking scores for day t+h.
+func (p *Pipeline) Forecast(kind ModelKind, target forecast.Target, t, h, w int) ([]float64, error) {
+	m, err := NewModel(kind)
+	if err != nil {
+		return nil, err
+	}
+	return m.Forecast(p.Ctx, target, t, h, w)
+}
+
+// Evaluate sweeps all eight models over the given grid and returns the
+// result for aggregation.
+func (p *Pipeline) Evaluate(target forecast.Target, ts, hs []int, w int) (*forecast.Result, error) {
+	return forecast.Sweep(p.Ctx, forecast.SweepConfig{
+		Models:        forecast.AllModels(),
+		Target:        target,
+		Ts:            ts,
+		Hs:            hs,
+		Ws:            []int{w},
+		RandomRepeats: 5,
+	})
+}
+
+// TopK returns the k sector IDs with the highest forecast scores: the
+// operator-facing ranking of sectors to inspect.
+func TopK(scores []float64, k int) []int {
+	idx := mathx.ArgsortDesc(scores)
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// Days returns the number of days in the pipeline's grid.
+func (p *Pipeline) Days() int { return p.Ctx.Days() }
+
+// Sectors returns the number of sectors after filtering.
+func (p *Pipeline) Sectors() int { return p.Ctx.Sectors() }
+
+// Grid exposes the time grid.
+func (p *Pipeline) Grid() *timegrid.Grid { return p.Dataset.Grid }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/forecast"
+	"repro/internal/impute"
+)
+
+func smallPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline(Config{Seed: 3, Sectors: 150, Weeks: 8, TrainDays: 3, ForestTrees: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPipeline(t *testing.T) {
+	p := smallPipeline(t)
+	if p.Sectors() < 100 {
+		t.Fatalf("sectors = %d", p.Sectors())
+	}
+	if p.Days() != 56 {
+		t.Fatalf("days = %d, want 56", p.Days())
+	}
+	if p.Grid().Weeks != 8 {
+		t.Fatal("grid weeks wrong")
+	}
+}
+
+func TestNewModelAllKinds(t *testing.T) {
+	for _, kind := range []ModelKind{Random, Persist, Average, Trend, Tree, RFR, RFF1, RFF2, GBTF1} {
+		m, err := NewModel(kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if m.Name() != string(kind) {
+			t.Fatalf("model %s reports name %s", kind, m.Name())
+		}
+	}
+	if _, err := NewModel("bogus"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestPipelineForecast(t *testing.T) {
+	p := smallPipeline(t)
+	scores, err := p.Forecast(Average, forecast.BeHot, 30, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != p.Sectors() {
+		t.Fatal("score count mismatch")
+	}
+}
+
+func TestPipelineEvaluate(t *testing.T) {
+	p := smallPipeline(t)
+	res, err := p.Evaluate(forecast.BeHot, []int{30}, []int{1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 8 {
+		t.Fatalf("records = %d, want 8 models", len(res.Records))
+	}
+	for _, rec := range res.Records {
+		if rec.Positives > 0 && math.IsNaN(rec.Lift) {
+			t.Fatalf("record %+v has NaN lift with positives", rec)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5}
+	top := TopK(scores, 2)
+	if len(top) != 2 || top[0] != 1 || top[1] != 2 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if got := TopK(scores, 10); len(got) != 3 {
+		t.Fatal("TopK should clamp to length")
+	}
+}
+
+func TestPipelineWithImputation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("imputation training is slow")
+	}
+	icfg := impute.DefaultConfig()
+	icfg.Depth = 2
+	icfg.Epochs = 2
+	icfg.BatchSize = 16
+	p, err := NewPipeline(Config{Seed: 4, Sectors: 40, Weeks: 4, Impute: true,
+		ImputeConfig: &icfg, TrainDays: 2, ForestTrees: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := p.Dataset.K.MissingFraction(); frac != 0 {
+		t.Fatalf("imputation left %.3f missing", frac)
+	}
+}

@@ -1,0 +1,253 @@
+// Package dynamics implements the Sec. III analyses of hot-spot temporal
+// regularities: hours-per-day / days-per-week / weeks-as-hot-spot histograms
+// (Fig. 6), consecutive-run histograms (Fig. 7), weekly-pattern mining and
+// ranking (Table II), and the per-sector temporal consistency of weekly
+// patterns.
+package dynamics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+	"repro/internal/timegrid"
+)
+
+// HoursPerDayHistogram returns the relative frequency of "hours as hot spot
+// within a day" (1..24) over all sector-days that contain at least one hot
+// hour, computed from hourly labels Yh (Fig. 6A).
+func HoursPerDayHistogram(yh *tensor.Matrix) []float64 {
+	counts := make([]int, 25) // index = hours hot (0 unused in output)
+	days := yh.Cols / timegrid.HoursPerDay
+	for i := 0; i < yh.Rows; i++ {
+		row := yh.Row(i)
+		for d := 0; d < days; d++ {
+			c := 0
+			for h := 0; h < timegrid.HoursPerDay; h++ {
+				if row[d*timegrid.HoursPerDay+h] > 0 {
+					c++
+				}
+			}
+			if c > 0 {
+				counts[c]++
+			}
+		}
+	}
+	return mathx.NormalizeCounts(counts[1:])
+}
+
+// DaysPerWeekHistogram returns the relative frequency of "days as hot spot
+// within a week" (1..7) over sector-weeks with at least one hot day,
+// computed from daily labels Yd (Fig. 6B).
+func DaysPerWeekHistogram(yd *tensor.Matrix) []float64 {
+	counts := make([]int, 8)
+	weeks := yd.Cols / timegrid.DaysPerWeek
+	for i := 0; i < yd.Rows; i++ {
+		row := yd.Row(i)
+		for w := 0; w < weeks; w++ {
+			c := 0
+			for d := 0; d < timegrid.DaysPerWeek; d++ {
+				if row[w*timegrid.DaysPerWeek+d] > 0 {
+					c++
+				}
+			}
+			if c > 0 {
+				counts[c]++
+			}
+		}
+	}
+	return mathx.NormalizeCounts(counts[1:])
+}
+
+// WeeksHistogram returns the relative frequency of "number of weeks as hot
+// spot" (1..weeks) per sector with at least one hot week, computed from
+// weekly labels Yw (Fig. 6C).
+func WeeksHistogram(yw *tensor.Matrix) []float64 {
+	weeks := yw.Cols
+	counts := make([]int, weeks+1)
+	for i := 0; i < yw.Rows; i++ {
+		c := 0
+		for w := 0; w < weeks; w++ {
+			if yw.At(i, w) > 0 {
+				c++
+			}
+		}
+		if c > 0 {
+			counts[c]++
+		}
+	}
+	return mathx.NormalizeCounts(counts[1:])
+}
+
+// RunLengths returns the multiset of lengths of consecutive-1 runs in each
+// row of y, pooled over all rows (Fig. 7 uses hourly and daily labels).
+func RunLengths(y *tensor.Matrix) []int {
+	var runs []int
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		cur := 0
+		for _, v := range row {
+			if v > 0 {
+				cur++
+				continue
+			}
+			if cur > 0 {
+				runs = append(runs, cur)
+				cur = 0
+			}
+		}
+		if cur > 0 {
+			runs = append(runs, cur)
+		}
+	}
+	return runs
+}
+
+// RunHistogram turns run lengths into a normalised histogram up to maxLen
+// (longer runs are accumulated into the last bin).
+func RunHistogram(runs []int, maxLen int) []float64 {
+	counts := make([]int, maxLen)
+	for _, r := range runs {
+		if r <= 0 {
+			continue
+		}
+		if r > maxLen {
+			r = maxLen
+		}
+		counts[r-1]++
+	}
+	return mathx.NormalizeCounts(counts)
+}
+
+// PatternCount is one row of the Table II reproduction: a weekly hot-day
+// pattern and its relative frequency among sector-weeks, excluding the
+// never-hot pattern exactly as the paper does for confidentiality.
+type PatternCount struct {
+	// Mask is the 7-bit day mask, bit 0 = Monday.
+	Mask uint8
+	// Percent is the relative count in percent (never-hot excluded).
+	Percent float64
+}
+
+// String renders the pattern in the paper's "M T W T F S S" style with
+// hyphens for cold days.
+func (p PatternCount) String() string {
+	letters := []string{"M", "T", "W", "T", "F", "S", "S"}
+	parts := make([]string, 7)
+	for d := 0; d < 7; d++ {
+		if p.Mask&(1<<uint(d)) != 0 {
+			parts[d] = letters[d]
+		} else {
+			parts[d] = "-"
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// WeeklyPatterns mines every sector-week of Yd for its 7-day hot pattern and
+// returns the top-k patterns by relative count, excluding the all-cold
+// pattern (Table II).
+func WeeklyPatterns(yd *tensor.Matrix, topK int) []PatternCount {
+	counts := map[uint8]int{}
+	weeks := yd.Cols / timegrid.DaysPerWeek
+	total := 0
+	for i := 0; i < yd.Rows; i++ {
+		row := yd.Row(i)
+		for w := 0; w < weeks; w++ {
+			var mask uint8
+			for d := 0; d < timegrid.DaysPerWeek; d++ {
+				if row[w*timegrid.DaysPerWeek+d] > 0 {
+					mask |= 1 << uint(d)
+				}
+			}
+			if mask != 0 {
+				counts[mask]++
+				total++
+			}
+		}
+	}
+	out := make([]PatternCount, 0, len(counts))
+	for mask, c := range counts {
+		out = append(out, PatternCount{Mask: mask, Percent: 100 * float64(c) / float64(total)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Percent != out[b].Percent {
+			return out[a].Percent > out[b].Percent
+		}
+		return out[a].Mask < out[b].Mask
+	})
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+// ConsistencyStats summarises the week-to-week temporal consistency of each
+// sector's hot pattern: the correlation between a sector's average weekly
+// profile and each of its individual weeks (the paper reports mean 0.6 with
+// 5/25/50/75/95 percentiles of -0.09/0.41/0.68/0.88/1).
+type ConsistencyStats struct {
+	Mean        float64
+	Percentiles [5]float64 // 5, 25, 50, 75, 95
+	N           int        // number of (sector, week) correlations
+}
+
+// WeeklyConsistency computes ConsistencyStats from daily labels. Sectors
+// with no hot days or a constant profile are skipped (correlation
+// undefined).
+func WeeklyConsistency(yd *tensor.Matrix) ConsistencyStats {
+	weeks := yd.Cols / timegrid.DaysPerWeek
+	var cors []float64
+	avg := make([]float64, timegrid.DaysPerWeek)
+	week := make([]float64, timegrid.DaysPerWeek)
+	for i := 0; i < yd.Rows; i++ {
+		row := yd.Row(i)
+		any := false
+		for d := range avg {
+			avg[d] = 0
+		}
+		for w := 0; w < weeks; w++ {
+			for d := 0; d < timegrid.DaysPerWeek; d++ {
+				v := row[w*timegrid.DaysPerWeek+d]
+				avg[d] += v
+				if v > 0 {
+					any = true
+				}
+			}
+		}
+		if !any {
+			continue
+		}
+		for d := range avg {
+			avg[d] /= float64(weeks)
+		}
+		for w := 0; w < weeks; w++ {
+			for d := 0; d < timegrid.DaysPerWeek; d++ {
+				week[d] = row[w*timegrid.DaysPerWeek+d]
+			}
+			if r := mathx.Pearson(avg, week); !isNaN(r) {
+				cors = append(cors, r)
+			}
+		}
+	}
+	st := ConsistencyStats{N: len(cors)}
+	st.Mean = mathx.Mean(cors)
+	ps := mathx.Percentiles(cors, []float64{5, 25, 50, 75, 95})
+	copy(st.Percentiles[:], ps)
+	return st
+}
+
+func isNaN(v float64) bool { return v != v }
+
+// FormatTableII renders pattern counts as the paper's Table II.
+func FormatTableII(patterns []PatternCount) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-15s %s\n", "Rank", "Pattern", "Count [%]")
+	fmt.Fprintf(&b, "%-4d %-15s %s\n", 1, "- - - - - - -", "(never hot; count withheld)")
+	for i, p := range patterns {
+		fmt.Fprintf(&b, "%-4d %-15s %5.1f\n", i+2, p.String(), p.Percent)
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+// Package eval implements the paper's evaluation measures (Sec. IV-B):
+// average precision over ranked sectors, precision-recall curves, the lift
+// Lambda of a model over the random model, and the relative ratio Delta
+// between two models.
+package eval
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// AveragePrecision computes AP for scores against binary relevance labels
+// (non-zero = relevant): sectors are ranked by descending score and AP is
+// the mean of precision@k over the ranks k that hold relevant items. It
+// returns NaN when there are no relevant items (a day with zero hot spots
+// cannot be scored). NaN scores rank last; ties are broken by index, which
+// keeps results deterministic.
+func AveragePrecision(scores []float64, labels []float64) float64 {
+	order := mathx.ArgsortDesc(scores)
+	relevant := 0
+	sum := 0.0
+	for rank, idx := range order {
+		if labels[idx] != 0 && !math.IsNaN(labels[idx]) {
+			relevant++
+			sum += float64(relevant) / float64(rank+1)
+		}
+	}
+	if relevant == 0 {
+		return math.NaN()
+	}
+	return sum / float64(relevant)
+}
+
+// PRPoint is one precision-recall operating point.
+type PRPoint struct {
+	Recall    float64
+	Precision float64
+	Threshold float64
+}
+
+// PRCurve returns the precision-recall curve obtained by sweeping the
+// ranking threshold over every score, ordered by increasing recall. Returns
+// nil when there are no relevant items.
+func PRCurve(scores []float64, labels []float64) []PRPoint {
+	order := mathx.ArgsortDesc(scores)
+	total := 0
+	for _, l := range labels {
+		if l != 0 && !math.IsNaN(l) {
+			total++
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	var out []PRPoint
+	hits := 0
+	for rank, idx := range order {
+		if labels[idx] != 0 && !math.IsNaN(labels[idx]) {
+			hits++
+		}
+		// Emit a point at each relevant item (the staircase's corners).
+		if labels[idx] != 0 && !math.IsNaN(labels[idx]) {
+			out = append(out, PRPoint{
+				Recall:    float64(hits) / float64(total),
+				Precision: float64(hits) / float64(rank+1),
+				Threshold: scores[idx],
+			})
+		}
+	}
+	return out
+}
+
+// Prevalence returns the fraction of relevant labels: the expected average
+// precision of a uniformly random ranking (the paper's chance level).
+func Prevalence(labels []float64) float64 {
+	if len(labels) == 0 {
+		return math.NaN()
+	}
+	pos := 0
+	for _, l := range labels {
+		if l != 0 && !math.IsNaN(l) {
+			pos++
+		}
+	}
+	return float64(pos) / float64(len(labels))
+}
+
+// Lift returns Lambda_i = psi(F_i) / psi(F_0): how many times better than
+// the random model a model's average precision is. NaN inputs propagate.
+func Lift(psiModel, psiRandom float64) float64 {
+	if psiRandom == 0 {
+		return math.NaN()
+	}
+	return psiModel / psiRandom
+}
+
+// Delta returns the paper's relative improvement Delta_ij = 100 *
+// (Lambda_j/Lambda_i - 1), the percentage by which model j beats model i.
+func Delta(liftBase, liftOther float64) float64 {
+	if liftBase == 0 {
+		return math.NaN()
+	}
+	return 100 * (liftOther/liftBase - 1)
+}

@@ -1,0 +1,196 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func TestAveragePrecisionPerfectRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.1, 0.05}
+	labels := []float64{1, 1, 0, 0}
+	if ap := AveragePrecision(scores, labels); ap != 1 {
+		t.Fatalf("AP = %v, want 1", ap)
+	}
+}
+
+func TestAveragePrecisionWorstRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.1, 0.05}
+	labels := []float64{0, 0, 0, 1}
+	if ap := AveragePrecision(scores, labels); ap != 0.25 {
+		t.Fatalf("AP = %v, want 0.25", ap)
+	}
+}
+
+func TestAveragePrecisionKnownValue(t *testing.T) {
+	// Ranking: rel, non, rel -> AP = (1/1 + 2/3)/2 = 5/6.
+	scores := []float64{3, 2, 1}
+	labels := []float64{1, 0, 1}
+	if ap := AveragePrecision(scores, labels); math.Abs(ap-5.0/6) > 1e-12 {
+		t.Fatalf("AP = %v, want 5/6", ap)
+	}
+}
+
+func TestAveragePrecisionNoPositives(t *testing.T) {
+	if !math.IsNaN(AveragePrecision([]float64{1, 2}, []float64{0, 0})) {
+		t.Fatal("AP with no positives should be NaN")
+	}
+}
+
+func TestAveragePrecisionNaNScoresRankLast(t *testing.T) {
+	scores := []float64{math.NaN(), 0.5}
+	labels := []float64{1, 0}
+	// The positive has a NaN score -> ranked last -> AP = 1/2.
+	if ap := AveragePrecision(scores, labels); ap != 0.5 {
+		t.Fatalf("AP = %v, want 0.5", ap)
+	}
+}
+
+// Property: AP is within (0, 1] and equals 1 iff all positives are ranked
+// above all negatives.
+func TestAveragePrecisionBoundsProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%40) + 2
+		rng := randx.New(seed, 3)
+		scores := make([]float64, m)
+		labels := make([]float64, m)
+		pos := 0
+		for i := range scores {
+			scores[i] = rng.Float64()
+			if rng.Bool(0.3) {
+				labels[i] = 1
+				pos++
+			}
+		}
+		ap := AveragePrecision(scores, labels)
+		if pos == 0 {
+			return math.IsNaN(ap)
+		}
+		return ap > 0 && ap <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random-ranking AP concentrates near prevalence.
+func TestRandomAPNearPrevalence(t *testing.T) {
+	rng := randx.New(17, 18)
+	n := 3000
+	labels := make([]float64, n)
+	for i := 0; i < 150; i++ {
+		labels[i] = 1 // 5% prevalence
+	}
+	sum := 0.0
+	rounds := 20
+	for r := 0; r < rounds; r++ {
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+		}
+		sum += AveragePrecision(scores, labels)
+	}
+	mean := sum / float64(rounds)
+	if mean < 0.035 || mean > 0.075 {
+		t.Fatalf("random AP = %v, want ~prevalence 0.05", mean)
+	}
+}
+
+func TestPRCurve(t *testing.T) {
+	scores := []float64{4, 3, 2, 1}
+	labels := []float64{1, 0, 1, 0}
+	pr := PRCurve(scores, labels)
+	if len(pr) != 2 {
+		t.Fatalf("PR points = %d, want 2", len(pr))
+	}
+	if pr[0].Recall != 0.5 || pr[0].Precision != 1 {
+		t.Fatalf("first point = %+v", pr[0])
+	}
+	if pr[1].Recall != 1 || math.Abs(pr[1].Precision-2.0/3) > 1e-12 {
+		t.Fatalf("second point = %+v", pr[1])
+	}
+}
+
+func TestPRCurveNoPositives(t *testing.T) {
+	if PRCurve([]float64{1}, []float64{0}) != nil {
+		t.Fatal("PR with no positives should be nil")
+	}
+}
+
+// Property: PR curve recall is non-decreasing and ends at 1.
+func TestPRCurveMonotoneRecallProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%30) + 2
+		rng := randx.New(seed, 9)
+		scores := make([]float64, m)
+		labels := make([]float64, m)
+		pos := 0
+		for i := range scores {
+			scores[i] = rng.Float64()
+			if rng.Bool(0.4) {
+				labels[i] = 1
+				pos++
+			}
+		}
+		pr := PRCurve(scores, labels)
+		if pos == 0 {
+			return pr == nil
+		}
+		prev := 0.0
+		for _, p := range pr {
+			if p.Recall < prev || p.Precision < 0 || p.Precision > 1 {
+				return false
+			}
+			prev = p.Recall
+		}
+		return math.Abs(prev-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrevalence(t *testing.T) {
+	if p := Prevalence([]float64{1, 0, 0, 1}); p != 0.5 {
+		t.Fatalf("prevalence = %v", p)
+	}
+	if !math.IsNaN(Prevalence(nil)) {
+		t.Fatal("empty prevalence should be NaN")
+	}
+}
+
+func TestLiftAndDelta(t *testing.T) {
+	if l := Lift(0.5, 0.05); l != 10 {
+		t.Fatalf("lift = %v, want 10", l)
+	}
+	if !math.IsNaN(Lift(0.5, 0)) {
+		t.Fatal("lift over zero should be NaN")
+	}
+	if d := Delta(10, 11.4); math.Abs(d-14) > 1e-9 {
+		t.Fatalf("delta = %v, want 14", d)
+	}
+	if d := Delta(10, 10); d != 0 {
+		t.Fatalf("delta same = %v, want 0", d)
+	}
+	if !math.IsNaN(Delta(0, 5)) {
+		t.Fatal("delta over zero lift should be NaN")
+	}
+}
+
+func TestPerfectRankingLiftIsInversePrevalence(t *testing.T) {
+	// With perfect ranking AP=1 and random AP ~ prevalence, lift ~ 1/prev.
+	n := 1000
+	labels := make([]float64, n)
+	scores := make([]float64, n)
+	for i := 0; i < 50; i++ {
+		labels[i] = 1
+		scores[i] = 1000 - float64(i)
+	}
+	ap := AveragePrecision(scores, labels)
+	lift := Lift(ap, Prevalence(labels))
+	if math.Abs(lift-20) > 1e-9 {
+		t.Fatalf("perfect lift = %v, want 20", lift)
+	}
+}

@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/forecast"
+	"repro/internal/mathx"
+	"repro/internal/randx"
+	"repro/internal/stats"
+)
+
+// LiftPoint is one (h or w, mean lift, CI) aggregate.
+type LiftPoint struct {
+	X    int
+	Mean float64
+	Lo   float64
+	Hi   float64
+	N    int
+}
+
+// LiftCurves maps a model name to its lift curve.
+type LiftCurves map[string][]LiftPoint
+
+// HorizonResult reproduces a lift-versus-horizon figure (Fig. 9 or 11) and
+// its companion delta figure (Fig. 10 or 12).
+type HorizonResult struct {
+	Target forecast.Target
+	W      int
+	Curves LiftCurves
+	// DeltaVsAverage maps classifier name -> per-h delta against Average
+	// (Figs. 10 and 12).
+	DeltaVsAverage LiftCurves
+	// Sweep retains the raw records for downstream analyses.
+	Sweep *forecast.Result
+}
+
+// RunHorizonExperiment evaluates all eight models across the horizon grid
+// at w = 7 (the paper's headline setting) and aggregates lifts over t.
+// Become-hot events are far rarer than hot days, so that target doubles the
+// t sample to keep the per-horizon averages meaningful.
+func RunHorizonExperiment(env *Env, target forecast.Target) (*HorizonResult, error) {
+	const w = 7
+	scale := env.Scale
+	if target == forecast.BecomeHot {
+		scale.TCount *= 2
+	}
+	res, err := forecast.Sweep(env.Ctx, forecast.SweepConfig{
+		Models:        forecast.AllModels(),
+		Target:        target,
+		Ts:            scale.Ts(),
+		Hs:            scale.Hs,
+		Ws:            []int{w},
+		RandomRepeats: scale.RandomRepeats,
+		Workers:       scale.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &HorizonResult{Target: target, W: w, Curves: LiftCurves{}, DeltaVsAverage: LiftCurves{}, Sweep: res}
+	rng := randx.New(env.Scale.Seed, 0xc1)
+	byModel := res.LiftsByModelH(w)
+	for model, byH := range byModel {
+		out.Curves[model] = aggregateCurve(byH, rng)
+	}
+	// Delta vs Average per h, computed from mean lifts.
+	avgCurve := indexCurve(out.Curves["Average"])
+	for _, clf := range []string{"Tree", "RF-R", "RF-F1", "RF-F2"} {
+		curve, ok := out.Curves[clf]
+		if !ok {
+			continue
+		}
+		var deltas []LiftPoint
+		for _, p := range curve {
+			base, ok := avgCurve[p.X]
+			if !ok || base.Mean == 0 {
+				continue
+			}
+			deltas = append(deltas, LiftPoint{X: p.X, Mean: eval.Delta(base.Mean, p.Mean), N: p.N})
+		}
+		out.DeltaVsAverage[clf] = deltas
+	}
+	return out, nil
+}
+
+func aggregateCurve(byX map[int][]float64, rng *randx.RNG) []LiftPoint {
+	var xs []int
+	for x := range byX {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	var out []LiftPoint
+	for _, x := range xs {
+		ci := stats.BootstrapMeanCI(byX[x], 0.95, 300, rng)
+		out = append(out, LiftPoint{X: x, Mean: ci.Mean, Lo: ci.Lo, Hi: ci.Hi, N: ci.N})
+	}
+	return out
+}
+
+func indexCurve(curve []LiftPoint) map[int]LiftPoint {
+	out := map[int]LiftPoint{}
+	for _, p := range curve {
+		out[p.X] = p
+	}
+	return out
+}
+
+// MeanDelta returns the average delta of a classifier against Average over
+// horizons satisfying keep (nil = all), the headline numbers of the paper
+// (+14% hot spots, up to +153% emerging).
+func (r *HorizonResult) MeanDelta(classifier string, keep func(h int) bool) float64 {
+	var vals []float64
+	for _, p := range r.DeltaVsAverage[classifier] {
+		if keep == nil || keep(p.X) {
+			vals = append(vals, p.Mean)
+		}
+	}
+	return mathx.Mean(vals)
+}
+
+// Format renders the lift curves and deltas as a table.
+func (r *HorizonResult) Format() string {
+	var b strings.Builder
+	figLift, figDelta := "Fig 9", "Fig 10"
+	if r.Target == forecast.BecomeHot {
+		figLift, figDelta = "Fig 11", "Fig 12"
+	}
+	order := []string{"Random", "Persist", "Average", "Trend", "Tree", "RF-R", "RF-F1", "RF-F2"}
+	fmt.Fprintf(&b, "%s  %s: mean lift vs horizon (w=%d)\n", figLift, r.Target, r.W)
+	b.WriteString(formatCurveTable(order, r.Curves, "h"))
+	fmt.Fprintf(&b, "%s  delta vs Average [%%]\n", figDelta)
+	b.WriteString(formatCurveTable([]string{"Tree", "RF-R", "RF-F1", "RF-F2"}, r.DeltaVsAverage, "h"))
+	return b.String()
+}
+
+func formatCurveTable(order []string, curves LiftCurves, xName string) string {
+	var xs []int
+	seen := map[int]bool{}
+	for _, model := range order {
+		for _, p := range curves[model] {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Ints(xs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-8s", xName)
+	for _, model := range order {
+		if _, ok := curves[model]; ok {
+			fmt.Fprintf(&b, "%10s", model)
+		}
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "  %-8d", x)
+		for _, model := range order {
+			curve, ok := curves[model]
+			if !ok {
+				continue
+			}
+			v := math.NaN()
+			for _, p := range curve {
+				if p.X == x {
+					v = p.Mean
+				}
+			}
+			fmt.Fprintf(&b, "%10.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WindowResult reproduces a lift-versus-past-window figure (Fig. 13 or 14):
+// RF-F1 lift as a function of w for several horizons.
+type WindowResult struct {
+	Target forecast.Target
+	Model  string
+	// CurvesByH maps horizon -> lift-vs-w curve.
+	CurvesByH map[int][]LiftPoint
+}
+
+// RunWindowExperiment sweeps RF-F1 over the w grid for the paper's six
+// highlighted horizons (or the scale's subset).
+func RunWindowExperiment(env *Env, target forecast.Target) (*WindowResult, error) {
+	hs := intersect(env.Scale.Hs, []int{1, 2, 4, 8, 16, 26})
+	if len(hs) == 0 {
+		hs = env.Scale.Hs
+	}
+	model := forecast.NewRFF1()
+	res, err := forecast.Sweep(env.Ctx, forecast.SweepConfig{
+		Models:        []forecast.Model{model},
+		Target:        target,
+		Ts:            env.Scale.Ts(),
+		Hs:            hs,
+		Ws:            env.Scale.Ws,
+		RandomRepeats: env.Scale.RandomRepeats,
+		Workers:       env.Scale.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &WindowResult{Target: target, Model: model.Name(), CurvesByH: map[int][]LiftPoint{}}
+	rng := randx.New(env.Scale.Seed, 0xc2)
+	for _, h := range hs {
+		byW := res.LiftsByModelW(model.Name(), h)
+		out.CurvesByH[h] = aggregateCurve(byW, rng)
+	}
+	return out, nil
+}
+
+func intersect(a, b []int) []int {
+	inB := map[int]bool{}
+	for _, v := range b {
+		inB[v] = true
+	}
+	var out []int
+	for _, v := range a {
+		if inB[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Format renders lift-vs-w per horizon.
+func (r *WindowResult) Format() string {
+	fig := "Fig 13"
+	if r.Target == forecast.BecomeHot {
+		fig = "Fig 14"
+	}
+	var hs []int
+	for h := range r.CurvesByH {
+		hs = append(hs, h)
+	}
+	sort.Ints(hs)
+	curves := LiftCurves{}
+	var order []string
+	for _, h := range hs {
+		name := fmt.Sprintf("h=%d", h)
+		curves[name] = r.CurvesByH[h]
+		order = append(order, name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  %s: %s mean lift vs past window w\n", fig, r.Target, r.Model)
+	b.WriteString(formatCurveTable(order, curves, "w"))
+	return b.String()
+}
+
+// StabilityResult is the Sec. V-A temporal-stability analysis: two-sample
+// KS tests between the psi distributions of the first and second halves of
+// the t range, for every (model, h, w) combination evaluated.
+type StabilityResult struct {
+	Target forecast.Target
+	// PValues lists one KS p-value per (model, h, w).
+	PValues []StabilityCell
+	// FracBelow001 and FracBelow005 summarise the paper's headline: no
+	// p-values under 0.01 and ~1.1% under 0.05.
+	FracBelow001 float64
+	FracBelow005 float64
+}
+
+// StabilityCell is one KS test outcome.
+type StabilityCell struct {
+	Model  string
+	H, W   int
+	PValue float64
+	N1, N2 int
+}
+
+// RunStabilityExperiment evaluates a model subset over every t in the
+// paper's range (this is the experiment that needs the full t axis) on a
+// thinned (h, w) grid, then KS-tests t in [52,69] against t in [70,87].
+func RunStabilityExperiment(env *Env, target forecast.Target) (*StabilityResult, error) {
+	ts, _, _ := forecast.PaperGrid()
+	hs := intersect(env.Scale.Hs, []int{1, 5, 14})
+	if len(hs) == 0 {
+		hs = env.Scale.Hs[:1]
+	}
+	models := []forecast.Model{
+		forecast.RandomModel{}, forecast.PersistModel{}, forecast.AverageModel{},
+		forecast.TrendModel{}, forecast.NewRFF1(),
+	}
+	res, err := forecast.Sweep(env.Ctx, forecast.SweepConfig{
+		Models:        models,
+		Target:        target,
+		Ts:            ts,
+		Hs:            hs,
+		Ws:            []int{7},
+		RandomRepeats: env.Scale.RandomRepeats,
+		Workers:       env.Scale.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &StabilityResult{Target: target}
+	below001, below005, total := 0, 0, 0
+	for _, m := range models {
+		for _, h := range hs {
+			first := res.PsiSeries(m.Name(), func(r forecast.Record) bool { return r.H == h && r.T <= 69 })
+			second := res.PsiSeries(m.Name(), func(r forecast.Record) bool { return r.H == h && r.T >= 70 })
+			ks := stats.KSTwoSample(first, second)
+			if math.IsNaN(ks.PValue) {
+				continue
+			}
+			out.PValues = append(out.PValues, StabilityCell{
+				Model: m.Name(), H: h, W: 7, PValue: ks.PValue, N1: ks.N1, N2: ks.N2,
+			})
+			total++
+			if ks.PValue < 0.01 {
+				below001++
+			}
+			if ks.PValue < 0.05 {
+				below005++
+			}
+		}
+	}
+	if total > 0 {
+		out.FracBelow001 = float64(below001) / float64(total)
+		out.FracBelow005 = float64(below005) / float64(total)
+	}
+	return out, nil
+}
+
+// Format renders the stability summary.
+func (r *StabilityResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sec V-A  temporal stability (%s): KS tests between psi(t in [52,69]) and psi(t in [70,87])\n", r.Target)
+	for _, c := range r.PValues {
+		fmt.Fprintf(&b, "  %-8s h=%-3d w=%-3d p=%.3f (n=%d/%d)\n", c.Model, c.H, c.W, c.PValue, c.N1, c.N2)
+	}
+	fmt.Fprintf(&b, "  fraction p<0.01: %.3f (paper: 0.000)   fraction p<0.05: %.3f (paper: 0.011)\n",
+		r.FracBelow001, r.FracBelow005)
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/features"
+	"repro/internal/forecast"
+	"repro/internal/simnet"
+	"repro/internal/timegrid"
+)
+
+// ImportanceResult reproduces the cumulative feature-importance maps of
+// Figs. 15-16: the RF-R model's importances reshaped onto the (hour j,
+// channel k) grid of the raw input window, then accumulated over j.
+type ImportanceResult struct {
+	Target forecast.Target
+	H, W   int
+	// Map[k][j] is the cumulative importance of channel k up to window hour
+	// j (k is zero-based; the paper's plots use one-based indices).
+	Map [][]float64
+	// ChannelTotals is total importance per channel.
+	ChannelTotals []float64
+	// ChannelNames uses the paper's one-based k convention in labels.
+	ChannelNames []string
+	// TopChannels lists channels by total importance, descending.
+	TopChannels []int
+}
+
+// RunImportanceExperiment fits RF-R at the paper's h=5, w=7 setting and a
+// mid-range t, and reshapes its importances.
+func RunImportanceExperiment(env *Env, target forecast.Target) (*ImportanceResult, error) {
+	const h, w = 5, 7
+	model := forecast.NewRFR()
+	ts := env.Scale.Ts()
+	t := ts[len(ts)/2]
+	if _, err := model.Forecast(env.Ctx, target, t, h, w); err != nil {
+		return nil, err
+	}
+	imp := model.LastImportances
+	channels := env.Ctx.View.Channels()
+	hours := w * timegrid.HoursPerDay
+	if len(imp) != hours*channels {
+		return nil, fmt.Errorf("experiments: importance length %d != %d hours x %d channels", len(imp), hours, channels)
+	}
+	res := &ImportanceResult{Target: target, H: h, W: w}
+	res.Map = make([][]float64, channels)
+	res.ChannelTotals = make([]float64, channels)
+	for k := 0; k < channels; k++ {
+		res.Map[k] = make([]float64, hours)
+		cum := 0.0
+		for j := 0; j < hours; j++ {
+			// Raw layout is hour-major: position j*channels + k.
+			cum += imp[j*channels+k]
+			res.Map[k][j] = cum
+		}
+		res.ChannelTotals[k] = cum
+	}
+	for k := 0; k < channels; k++ {
+		res.ChannelNames = append(res.ChannelNames,
+			fmt.Sprintf("k=%d %s", k+1, env.Ctx.View.ChannelName(k, simnet.KPIName)))
+		res.TopChannels = append(res.TopChannels, k)
+	}
+	sort.Slice(res.TopChannels, func(a, b int) bool {
+		return res.ChannelTotals[res.TopChannels[a]] > res.ChannelTotals[res.TopChannels[b]]
+	})
+	return res, nil
+}
+
+// ScoreChannelShare returns the total importance captured by the
+// score/label channels (S^h, S^d, S^w, Y^d): the paper finds these dominate.
+func (r *ImportanceResult) ScoreChannelShare() float64 {
+	channels := len(r.ChannelTotals)
+	share := 0.0
+	for k := channels - 4; k < channels; k++ {
+		share += r.ChannelTotals[k]
+	}
+	return share
+}
+
+// KPIShare returns the total importance captured by the KPI channels.
+func (r *ImportanceResult) KPIShare() float64 {
+	share := 0.0
+	for k := 0; k < simnet.NumKPIs && k < len(r.ChannelTotals); k++ {
+		share += r.ChannelTotals[k]
+	}
+	return share
+}
+
+// CalendarShare returns the calendar channels' importance (paper: ~0).
+func (r *ImportanceResult) CalendarShare() float64 {
+	share := 0.0
+	for k := simnet.NumKPIs; k < simnet.NumKPIs+features.CalendarChannels && k < len(r.ChannelTotals); k++ {
+		share += r.ChannelTotals[k]
+	}
+	return share
+}
+
+// Format renders the channel ranking and shares.
+func (r *ImportanceResult) Format() string {
+	fig := "Fig 15"
+	if r.Target == forecast.BecomeHot {
+		fig = "Fig 16"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  %s: RF-R cumulative feature importance (h=%d, w=%d)\n", fig, r.Target, r.H, r.W)
+	fmt.Fprintf(&b, "  shares: scores/labels %.2f, KPIs %.2f, calendar %.2f\n",
+		r.ScoreChannelShare(), r.KPIShare(), r.CalendarShare())
+	b.WriteString("  top channels:\n")
+	for rank, k := range r.TopChannels {
+		if rank >= 10 {
+			break
+		}
+		fmt.Fprintf(&b, "  %2d. %-38s %.3f  %s\n", rank+1, r.ChannelNames[k], r.ChannelTotals[k], sparkline(r.Map[k]))
+	}
+	return b.String()
+}

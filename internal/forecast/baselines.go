@@ -1,0 +1,114 @@
+package forecast
+
+import (
+	"repro/internal/randx"
+	"repro/internal/score"
+)
+
+// RandomModel is F^0: uniform random scores G(0, 1). Its measured average
+// precision defines chance level, the denominator of every lift.
+type RandomModel struct {
+	// Draws averages this many independent random rankings' scores are NOT
+	// averaged — each Forecast call returns one fresh ranking. Evaluation
+	// code averages psi over repeated calls instead (see Sweep).
+}
+
+// Name implements Model.
+func (RandomModel) Name() string { return "Random" }
+
+// Forecast implements Model.
+func (RandomModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
+	if err := c.CheckTask(t, h, w); err != nil {
+		return nil, err
+	}
+	rng := randx.DeriveIndexed(c.Seed, 0xF0, "random-model", t*1000+h)
+	out := make([]float64, c.Sectors())
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out, nil
+}
+
+// PersistModel forecasts Yhat_{i,t+h} = Y_{i,t}: the target's current value
+// projected forward. Strong when the signal is bursty or slowly varying;
+// its performance peaks at h = 7 and 14 in the paper because of weekly
+// regularity.
+type PersistModel struct{}
+
+// Name implements Model.
+func (PersistModel) Name() string { return "Persist" }
+
+// Forecast implements Model.
+func (PersistModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
+	if err := c.CheckTask(t, h, w); err != nil {
+		return nil, err
+	}
+	y := c.Labels(target)
+	out := make([]float64, c.Sectors())
+	for i := range out {
+		out[i] = y.At(i, t)
+	}
+	return out, nil
+}
+
+// AverageModel forecasts with the mean daily score over the past window:
+// Yhat_{i,t+h} = mu(t, w, S_i). Not a probability, but a ranking score; it
+// is the strongest baseline in the paper.
+type AverageModel struct{}
+
+// Name implements Model.
+func (AverageModel) Name() string { return "Average" }
+
+// Forecast implements Model.
+func (AverageModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
+	if err := c.CheckTask(t, h, w); err != nil {
+		return nil, err
+	}
+	out := make([]float64, c.Sectors())
+	for i := range out {
+		out[i] = sanitizeScore(score.Mu(t, w, c.Sd.Row(i)))
+	}
+	return out, nil
+}
+
+// TrendModel adds a linear projection of the recent score trend to the
+// Average forecast:
+//
+//	Yhat = mu(t, w, S) + (mu(t, w/2, S) - mu(t-w/2, w/2, S)) / (w/2)
+//
+// For w < 2 the trend term is undefined and the model degenerates to
+// Average, which matches the paper's formula (w/2 = 0 is excluded from its
+// grid for this model's purposes).
+type TrendModel struct{}
+
+// Name implements Model.
+func (TrendModel) Name() string { return "Trend" }
+
+// Forecast implements Model.
+func (TrendModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
+	if err := c.CheckTask(t, h, w); err != nil {
+		return nil, err
+	}
+	out := make([]float64, c.Sectors())
+	half := w / 2
+	for i := range out {
+		row := c.Sd.Row(i)
+		avg := sanitizeScore(score.Mu(t, w, row))
+		if half < 1 {
+			out[i] = avg
+			continue
+		}
+		recent := sanitizeScore(score.Mu(t, half, row))
+		earlier := sanitizeScore(score.Mu(t-half, half, row))
+		out[i] = avg + (recent-earlier)/float64(half)
+	}
+	return out, nil
+}
+
+// sanitizeScore maps NaN (no data in window) to 0 so rankings stay total.
+func sanitizeScore(v float64) float64 {
+	if v != v {
+		return 0
+	}
+	return v
+}

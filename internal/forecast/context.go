@@ -1,0 +1,118 @@
+// Package forecast implements the paper's forecasting methodology
+// (Sec. IV): the training/prediction protocol of Eqs. 6-7, the four
+// baseline models (Random, Persist, Average, Trend), the four tree-based
+// classifiers (Tree, RF-R, RF-F1, RF-F2), and the evaluation sweep over
+// forecast day t, horizon h and past window w (Table III).
+package forecast
+
+import (
+	"fmt"
+
+	"repro/internal/features"
+	"repro/internal/score"
+	"repro/internal/tensor"
+	"repro/internal/timegrid"
+)
+
+// Target selects which binary variable is being forecast.
+type Target int
+
+// Forecast targets (Sec. IV-A).
+const (
+	// BeHot is the daily "is a hot spot" label Y^d.
+	BeHot Target = iota
+	// BecomeHot is the non-regular "become a hot spot" label.
+	BecomeHot
+)
+
+// String names the target.
+func (t Target) String() string {
+	if t == BecomeHot {
+		return "become-hot-spot"
+	}
+	return "hot-spot"
+}
+
+// Context bundles everything models need: the virtual Eq. 5 input tensor,
+// the daily scores, and the label matrices for both targets.
+type Context struct {
+	View *features.View
+	// Sd is the daily score matrix (n x md), used by Average/Trend.
+	Sd *tensor.Matrix
+	// YdHot is the daily hot-spot label matrix.
+	YdHot *tensor.Matrix
+	// YdBecome is the become-a-hot-spot label matrix.
+	YdBecome *tensor.Matrix
+	// TrainDays is how many recent label days are stacked to form the
+	// classifier training set. The paper trains on a single label day with
+	// tens of thousands of sectors; at reproduction scale single days hold
+	// too few positives, so several adjacent days are pooled (DESIGN.md §6).
+	TrainDays int
+	// ForestTrees is the ensemble size for the RF models.
+	ForestTrees int
+	// Seed drives every stochastic model component.
+	Seed uint64
+}
+
+// NewContext assembles a Context from a scored dataset.
+func NewContext(k *tensor.Tensor3, cal *tensor.Matrix, set *score.Set, seed uint64) (*Context, error) {
+	v, err := features.NewView(k, cal, set.Sh, set.Sd, set.Sw, set.Yd)
+	if err != nil {
+		return nil, err
+	}
+	become := score.BecomeLabels(set.Sd, set.Weighting.HotThreshold)
+	return &Context{
+		View:        v,
+		Sd:          set.Sd,
+		YdHot:       set.Yd,
+		YdBecome:    become,
+		TrainDays:   4,
+		ForestTrees: 24,
+		Seed:        seed,
+	}, nil
+}
+
+// Labels returns the label matrix for a target.
+func (c *Context) Labels(target Target) *tensor.Matrix {
+	if target == BecomeHot {
+		return c.YdBecome
+	}
+	return c.YdHot
+}
+
+// Sectors returns n.
+func (c *Context) Sectors() int { return c.View.Sectors() }
+
+// Days returns m^d.
+func (c *Context) Days() int { return c.View.Hours() / timegrid.HoursPerDay }
+
+// CheckTask validates a (t, h, w) combination: training needs the window
+// ending at t-h (with TrainDays of history) and evaluation needs day t+h.
+func (c *Context) CheckTask(t, h, w int) error {
+	if h < 1 {
+		return fmt.Errorf("forecast: horizon %d < 1", h)
+	}
+	if w < 1 {
+		return fmt.Errorf("forecast: window %d < 1", w)
+	}
+	earliest := t - h - w - (c.TrainDays - 1)
+	if earliest < 0 {
+		return fmt.Errorf("forecast: t=%d h=%d w=%d needs day %d of history", t, h, w, earliest)
+	}
+	if t+h >= c.Days() {
+		return fmt.Errorf("forecast: evaluation day t+h=%d outside grid of %d days", t+h, c.Days())
+	}
+	return nil
+}
+
+// Model is a hot-spot forecaster. Given the data available at day t it
+// produces, for every sector, a ranking score for the probability of being
+// (or becoming) a hot spot at day t+h, using at most w days of history
+// (Eq. 6). Fit may be a no-op for the baselines; classifier models train on
+// the h-delayed slice per Eq. 7.
+type Model interface {
+	// Name is the paper's model name.
+	Name() string
+	// Forecast returns one ranking score per sector for day t+h.
+	Forecast(c *Context, target Target, t, h, w int) ([]float64, error)
+}

@@ -1,0 +1,203 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/score"
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+	"repro/internal/timegrid"
+)
+
+// degenerateContext builds a context from hand-made matrices so failure
+// modes can be injected precisely.
+func degenerateContext(t *testing.T, n, weeks int, fill func(k *tensor.Tensor3)) *Context {
+	t.Helper()
+	k := tensor.NewTensor3(n, weeks*timegrid.HoursPerWeek, simnet.NumKPIs)
+	if fill != nil {
+		fill(k)
+	}
+	grid, err := timegrid.New(timegrid.PaperStart, weeks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := score.Compute(k, score.DefaultWeighting())
+	ctx, err := NewContext(k, grid.Calendar(), set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.TrainDays = 2
+	ctx.ForestTrees = 4
+	return ctx
+}
+
+func TestAllColdNetworkBaselines(t *testing.T) {
+	// A network that is never hot: baselines must still produce rankings
+	// (all-zero scores), and sweeps must yield NaN psi, not errors.
+	c := degenerateContext(t, 10, 6, nil)
+	for _, m := range Baselines() {
+		scores, err := m.Forecast(c, BeHot, 20, 2, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if len(scores) != 10 {
+			t.Fatalf("%s: wrong length", m.Name())
+		}
+	}
+	res, err := Sweep(c, SweepConfig{
+		Models: Baselines(), Target: BeHot,
+		Ts: []int{20}, Hs: []int{2}, Ws: []int{5}, RandomRepeats: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Records {
+		if rec.Positives != 0 || !math.IsNaN(rec.Psi) {
+			t.Fatalf("all-cold network produced %+v", rec)
+		}
+	}
+}
+
+func TestAllColdNetworkClassifierFallsBack(t *testing.T) {
+	c := degenerateContext(t, 10, 6, nil)
+	m := NewRFF1()
+	scores, err := m.Forecast(c, BeHot, 20, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 10 {
+		t.Fatal("wrong length")
+	}
+}
+
+func TestAllHotNetworkClassifierFallsBack(t *testing.T) {
+	// Every KPI pinned at its worst: all labels are 1 (single class), the
+	// classifier must fall back instead of erroring.
+	cat := simnet.Catalogue()
+	c := degenerateContext(t, 10, 6, func(k *tensor.Tensor3) {
+		for i := 0; i < k.N; i++ {
+			for j := 0; j < k.T; j++ {
+				for f := 0; f < k.F; f++ {
+					k.Set(i, j, f, cat[f].Max)
+				}
+			}
+		}
+	})
+	m := NewTreeModel()
+	scores, err := m.Forecast(c, BeHot, 20, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 10 {
+		t.Fatal("wrong length")
+	}
+}
+
+func TestAllMissingKPIsStillRankable(t *testing.T) {
+	// Every measurement missing: scores are NaN, labels all zero, baselines
+	// sanitise NaN to 0 and classifiers fall back. Nothing may panic.
+	c := degenerateContext(t, 8, 6, func(k *tensor.Tensor3) {
+		k.Fill(math.NaN())
+	})
+	for _, m := range append(Baselines(), NewRFF1()) {
+		scores, err := m.Forecast(c, BeHot, 20, 2, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		for _, v := range scores {
+			if math.IsNaN(v) {
+				t.Fatalf("%s: NaN ranking score leaked", m.Name())
+			}
+		}
+	}
+}
+
+func TestSweepGridEdges(t *testing.T) {
+	c := degenerateContext(t, 8, 6, nil)
+	// Smallest valid point: t-h-w-(TrainDays-1) = 0.
+	tMin := 1 + 1 + (c.TrainDays - 1)
+	if err := c.CheckTask(tMin, 1, 1); err != nil {
+		t.Fatalf("minimal task rejected: %v", err)
+	}
+	if err := c.CheckTask(tMin-1, 1, 1); err == nil {
+		t.Fatal("sub-minimal task accepted")
+	}
+	// Largest valid point: t+h = days-1.
+	tMax := c.Days() - 1 - 1
+	if err := c.CheckTask(tMax, 1, 1); err != nil {
+		t.Fatalf("maximal task rejected: %v", err)
+	}
+	if err := c.CheckTask(tMax+1, 1, 1); err == nil {
+		t.Fatal("beyond-grid task accepted")
+	}
+}
+
+func TestTrendHandlesOddWindows(t *testing.T) {
+	c := degenerateContext(t, 8, 6, nil)
+	for _, w := range []int{1, 2, 3, 5, 7} {
+		if _, err := (TrendModel{}).Forecast(c, BeHot, 20, 2, w); err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+	}
+}
+
+func TestContextLabelsSelector(t *testing.T) {
+	c := degenerateContext(t, 4, 6, nil)
+	if c.Labels(BeHot) != c.YdHot {
+		t.Fatal("BeHot selector wrong")
+	}
+	if c.Labels(BecomeHot) != c.YdBecome {
+		t.Fatal("BecomeHot selector wrong")
+	}
+	if BeHot.String() == BecomeHot.String() {
+		t.Fatal("target names collide")
+	}
+}
+
+func TestGBTModelForecast(t *testing.T) {
+	c := degenerateContext(t, 12, 6, func(k *tensor.Tensor3) {
+		// Half the sectors permanently degraded so both classes exist.
+		cat := simnet.Catalogue()
+		for i := 0; i < 6; i++ {
+			for j := 0; j < k.T; j++ {
+				for f := 0; f < k.F; f++ {
+					k.Set(i, j, f, cat[f].Max)
+				}
+			}
+		}
+	})
+	m := NewGBT()
+	m.Config.Rounds = 10
+	scores, err := m.Forecast(c, BeHot, 20, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 12 {
+		t.Fatal("wrong score count")
+	}
+	// Degraded sectors must outrank healthy ones.
+	for i := 0; i < 6; i++ {
+		if scores[i] <= scores[6+i%6] {
+			t.Fatalf("degraded sector %d (%.3f) not ranked above healthy (%.3f)", i, scores[i], scores[6+i%6])
+		}
+	}
+	if m.Name() != "GBT-F1" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestGBTModelFallsBackOnDegenerateLabels(t *testing.T) {
+	c := degenerateContext(t, 8, 6, nil) // all cold
+	m := NewGBT()
+	scores, err := m.Forecast(c, BeHot, 20, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, _ := (AverageModel{}).Forecast(c, BeHot, 20, 2, 5)
+	for i := range scores {
+		if scores[i] != av[i] {
+			t.Fatal("GBT should fall back to Average on single-class data")
+		}
+	}
+}

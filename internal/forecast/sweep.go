@@ -1,0 +1,210 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/eval"
+	"repro/internal/randx"
+)
+
+// PaperGrid returns the Table III parameter values: forecast days t,
+// horizons h and past windows w.
+func PaperGrid() (ts, hs, ws []int) {
+	for t := 52; t <= 87; t++ {
+		ts = append(ts, t)
+	}
+	hs = []int{1, 2, 3, 4, 5, 7, 8, 10, 12, 14, 16, 19, 22, 26, 29}
+	ws = []int{1, 2, 3, 5, 7, 10, 14, 21}
+	return ts, hs, ws
+}
+
+// SweepConfig selects the grid to evaluate.
+type SweepConfig struct {
+	// Models are evaluated at every grid point.
+	Models []Model
+	// Target selects the forecast variable.
+	Target Target
+	// Ts, Hs, Ws are the grid values (subsets of Table III at reproduction
+	// scale).
+	Ts, Hs, Ws []int
+	// RandomRepeats averages this many random rankings to estimate psi(F0)
+	// per grid point, stabilising lift denominators (>=1).
+	RandomRepeats int
+	// Workers bounds the parallel evaluation of grid points
+	// (0 = GOMAXPROCS). Each classifier fit may itself parallelise; workers
+	// trade memory for speed.
+	Workers int
+}
+
+// Record is one evaluated grid point for one model.
+type Record struct {
+	Model     string
+	Target    Target
+	T, H, W   int
+	Psi       float64 // average precision
+	PsiRandom float64 // chance-level average precision at this point
+	Lift      float64
+	Positives int // number of positive labels at evaluation day t+h
+}
+
+// Result is a sweep outcome.
+type Result struct {
+	Records []Record
+}
+
+// Sweep evaluates every model at every (t, h, w) grid point. Points whose
+// evaluation day has no positive labels yield Psi = NaN and are retained
+// (aggregations skip NaNs). The sweep is deterministic for a fixed
+// Context.Seed.
+func Sweep(c *Context, cfg SweepConfig) (*Result, error) {
+	if len(cfg.Models) == 0 {
+		return nil, fmt.Errorf("forecast: sweep with no models")
+	}
+	if len(cfg.Ts) == 0 || len(cfg.Hs) == 0 || len(cfg.Ws) == 0 {
+		return nil, fmt.Errorf("forecast: empty sweep grid")
+	}
+	if cfg.RandomRepeats < 1 {
+		cfg.RandomRepeats = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type point struct{ t, h, w int }
+	var points []point
+	for _, t := range cfg.Ts {
+		for _, h := range cfg.Hs {
+			for _, w := range cfg.Ws {
+				points = append(points, point{t, h, w})
+			}
+		}
+	}
+
+	records := make([][]Record, len(points))
+	errs := make([]error, len(points))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pi := range work {
+				records[pi], errs[pi] = evalPoint(c, cfg, points[pi].t, points[pi].h, points[pi].w)
+			}
+		}()
+	}
+	for pi := range points {
+		work <- pi
+	}
+	close(work)
+	wg.Wait()
+	res := &Result{}
+	for pi := range points {
+		if errs[pi] != nil {
+			return nil, errs[pi]
+		}
+		res.Records = append(res.Records, records[pi]...)
+	}
+	return res, nil
+}
+
+// evalPoint evaluates all models at one grid point.
+func evalPoint(c *Context, cfg SweepConfig, t, h, w int) ([]Record, error) {
+	if err := c.CheckTask(t, h, w); err != nil {
+		return nil, fmt.Errorf("forecast: grid point (t=%d,h=%d,w=%d): %w", t, h, w, err)
+	}
+	y := c.Labels(cfg.Target)
+	evalDay := t + h
+	labels := y.Col(evalDay)
+	positives := 0
+	for _, v := range labels {
+		if v > 0 {
+			positives++
+		}
+	}
+
+	// Chance level: average psi over several independent random rankings,
+	// each from its own deterministic sub-stream.
+	psiRandom := math.NaN()
+	if positives > 0 {
+		sum := 0.0
+		scores := make([]float64, len(labels))
+		for r := 0; r < cfg.RandomRepeats; r++ {
+			rng := randx.DeriveIndexed(c.Seed, 0xc4a7ce, "psi-random", (t*1000+h)*64+r)
+			for i := range scores {
+				scores[i] = rng.Float64()
+			}
+			sum += eval.AveragePrecision(scores, labels)
+		}
+		psiRandom = sum / float64(cfg.RandomRepeats)
+	}
+
+	var out []Record
+	for _, m := range cfg.Models {
+		rec := Record{Model: m.Name(), Target: cfg.Target, T: t, H: h, W: w, Positives: positives, PsiRandom: psiRandom}
+		if positives == 0 {
+			rec.Psi, rec.Lift = math.NaN(), math.NaN()
+			out = append(out, rec)
+			continue
+		}
+		scores, err := m.Forecast(c, cfg.Target, t, h, w)
+		if err != nil {
+			return nil, fmt.Errorf("forecast: model %s at (t=%d,h=%d,w=%d): %w", m.Name(), t, h, w, err)
+		}
+		rec.Psi = eval.AveragePrecision(scores, labels)
+		rec.Lift = eval.Lift(rec.Psi, psiRandom)
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// LiftsByModelH aggregates mean lift per (model, h) over t (for a fixed w),
+// the quantity plotted in Figs. 9 and 11. It returns model -> h -> lifts
+// (one per t).
+func (r *Result) LiftsByModelH(w int) map[string]map[int][]float64 {
+	out := map[string]map[int][]float64{}
+	for _, rec := range r.Records {
+		if rec.W != w || math.IsNaN(rec.Lift) {
+			continue
+		}
+		byH, ok := out[rec.Model]
+		if !ok {
+			byH = map[int][]float64{}
+			out[rec.Model] = byH
+		}
+		byH[rec.H] = append(byH[rec.H], rec.Lift)
+	}
+	return out
+}
+
+// LiftsByModelW aggregates lifts per (model, w) for a fixed h over t, the
+// quantity plotted in Figs. 13 and 14.
+func (r *Result) LiftsByModelW(model string, h int) map[int][]float64 {
+	out := map[int][]float64{}
+	for _, rec := range r.Records {
+		if rec.Model != model || rec.H != h || math.IsNaN(rec.Lift) {
+			continue
+		}
+		out[rec.W] = append(out[rec.W], rec.Lift)
+	}
+	return out
+}
+
+// PsiSeries returns the average-precision values for one model across all
+// records matching the filter (used by the Sec. V-A stability test).
+func (r *Result) PsiSeries(model string, keep func(Record) bool) []float64 {
+	var out []float64
+	for _, rec := range r.Records {
+		if rec.Model != model || math.IsNaN(rec.Psi) {
+			continue
+		}
+		if keep == nil || keep(rec) {
+			out = append(out, rec.Psi)
+		}
+	}
+	return out
+}

@@ -1,0 +1,420 @@
+// Package impute fills missing KPI measurements. The primary method is the
+// paper's stacked denoising autoencoder over weekly slices (Sec. II-C);
+// forward-fill and linear interpolation are provided as ablation baselines.
+//
+// Pipeline mirror of the paper:
+//
+//  1. Filter sectors with >50% missing values in any week
+//     (score.FilterSectors).
+//  2. Z-normalise each KPI over the observed entries.
+//  3. Train a denoising autoencoder on random weekly slices: missing values
+//     and an additional corruption mass (up to half the slice) are replaced
+//     by the most recent preceding observed sample; the loss is MSE on the
+//     originally observed entries only.
+//  4. Impute: run every weekly slice through the trained network and
+//     replace only the missing entries with the reconstruction, then undo
+//     the normalisation.
+package impute
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/neural"
+	"repro/internal/randx"
+	"repro/internal/tensor"
+	"repro/internal/timegrid"
+)
+
+// Config parameterises autoencoder imputation.
+type Config struct {
+	// Seed drives initialisation, batching and corruption.
+	Seed uint64
+	// Depth is the number of halving encoder layers (the paper uses 4).
+	Depth int
+	// Epochs is the number of passes; each epoch draws n*mw/BatchSize
+	// batches as in the paper (which trains for 1000 epochs at scale).
+	Epochs int
+	// BatchSize is the minibatch size (paper: 128).
+	BatchSize int
+	// LearningRate and Rho configure RMSprop (paper: 1e-4 and 0.99).
+	LearningRate float64
+	Rho          float64
+	// CorruptFraction is the additional fraction of observed entries
+	// corrupted during training, on top of the genuinely missing ones
+	// (the paper corrupts up to half of the slice).
+	CorruptFraction float64
+}
+
+// DefaultConfig returns the paper's hyper-parameters with an epoch budget
+// suited to the reproduction's scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		Depth:           4,
+		Epochs:          30,
+		BatchSize:       128,
+		LearningRate:    1e-4,
+		Rho:             0.99,
+		CorruptFraction: 0.5,
+	}
+}
+
+// Normalization stores per-KPI offsets and scales used to z-normalise a
+// tensor (and restore it afterwards, as the paper does).
+type Normalization struct {
+	Mean, Std []float64
+}
+
+// FitNormalization computes per-KPI mean and standard deviation over the
+// observed entries. KPIs with zero variance get Std 1 so normalisation is a
+// pure shift.
+func FitNormalization(k *tensor.Tensor3) *Normalization {
+	norm := &Normalization{Mean: make([]float64, k.F), Std: make([]float64, k.F)}
+	for f := 0; f < k.F; f++ {
+		sum, ss, n := 0.0, 0.0, 0
+		for i := 0; i < k.N; i++ {
+			for j := 0; j < k.T; j++ {
+				v := k.At(i, j, f)
+				if math.IsNaN(v) {
+					continue
+				}
+				sum += v
+				ss += v * v
+				n++
+			}
+		}
+		if n == 0 {
+			norm.Mean[f], norm.Std[f] = 0, 1
+			continue
+		}
+		mean := sum / float64(n)
+		variance := ss/float64(n) - mean*mean
+		std := math.Sqrt(math.Max(variance, 0))
+		if std == 0 {
+			std = 1
+		}
+		norm.Mean[f], norm.Std[f] = mean, std
+	}
+	return norm
+}
+
+// Apply z-normalises the tensor in place.
+func (nm *Normalization) Apply(k *tensor.Tensor3) {
+	for i := 0; i < k.N; i++ {
+		for j := 0; j < k.T; j++ {
+			cell := k.Cell(i, j)
+			for f := range cell {
+				cell[f] = (cell[f] - nm.Mean[f]) / nm.Std[f]
+			}
+		}
+	}
+}
+
+// Restore undoes Apply in place.
+func (nm *Normalization) Restore(k *tensor.Tensor3) {
+	for i := 0; i < k.N; i++ {
+		for j := 0; j < k.T; j++ {
+			cell := k.Cell(i, j)
+			for f := range cell {
+				cell[f] = cell[f]*nm.Std[f] + nm.Mean[f]
+			}
+		}
+	}
+}
+
+// Imputer is a trained autoencoder imputation model.
+type Imputer struct {
+	net   *neural.Network
+	norm  *Normalization
+	width int
+	kpis  int
+	cfg   Config
+}
+
+// sliceWidth returns the flattened weekly slice width.
+func sliceWidth(kpis int) int { return timegrid.HoursPerWeek * kpis }
+
+// Train fits a denoising autoencoder to the weekly slices of k. The tensor
+// is not modified. Training requires k.T to be a whole number of weeks.
+func Train(k *tensor.Tensor3, cfg Config) (*Imputer, error) {
+	if k.T%timegrid.HoursPerWeek != 0 {
+		return nil, fmt.Errorf("impute: %d hours is not whole weeks", k.T)
+	}
+	if cfg.Depth < 1 || cfg.Epochs < 1 || cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("impute: bad config %+v", cfg)
+	}
+	weeks := k.T / timegrid.HoursPerWeek
+	if weeks == 0 || k.N == 0 {
+		return nil, fmt.Errorf("impute: empty tensor")
+	}
+	rng := randx.New(cfg.Seed, 0xae1)
+	norm := FitNormalization(k)
+	work := k.Clone()
+	norm.Apply(work)
+
+	width := sliceWidth(k.F)
+	net := neural.Autoencoder(width, cfg.Depth, rng.Derive("init"))
+	opt := neural.NewRMSprop(cfg.LearningRate, cfg.Rho)
+
+	in := neural.NewBatch(cfg.BatchSize, width)
+	target := neural.NewBatch(cfg.BatchSize, width)
+	mask := neural.NewBatch(cfg.BatchSize, width)
+	grad := neural.NewBatch(cfg.BatchSize, width)
+
+	batchesPerEpoch := k.N * weeks / cfg.BatchSize
+	if batchesPerEpoch < 1 {
+		batchesPerEpoch = 1
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for b := 0; b < batchesPerEpoch; b++ {
+			for r := 0; r < cfg.BatchSize; r++ {
+				i := rng.IntInclusive(1, k.N) - 1
+				w := rng.IntInclusive(1, weeks) - 1
+				fillTrainingRow(work, i, w, in.Row(r), target.Row(r), mask.Row(r), cfg.CorruptFraction, rng)
+			}
+			out := net.Forward(in)
+			neural.MaskedMSE(out, target, mask, grad)
+			net.ZeroGrad()
+			net.Backward(grad)
+			opt.Step(net.Params())
+		}
+	}
+	return &Imputer{net: net, norm: norm, width: width, kpis: k.F, cfg: cfg}, nil
+}
+
+// fillTrainingRow extracts the weekly slice (i, w) from a z-normalised
+// tensor into in/target/mask:
+//
+//   - target holds the observed values (zeros where missing),
+//   - mask is 1 on originally observed entries,
+//   - in is the corrupted input: missing entries and an extra
+//     corruptFraction of observed entries are replaced by the most recent
+//     preceding observed value of the same KPI (zero when none exists).
+func fillTrainingRow(k *tensor.Tensor3, sector, week int, in, target, mask []float64, corruptFraction float64, rng *randx.RNG) {
+	base := week * timegrid.HoursPerWeek
+	for h := 0; h < timegrid.HoursPerWeek; h++ {
+		cell := k.Cell(sector, base+h)
+		for f := 0; f < k.F; f++ {
+			pos := h*k.F + f
+			v := cell[f]
+			if math.IsNaN(v) {
+				target[pos] = 0
+				mask[pos] = 0
+				in[pos] = lastObserved(k, sector, base+h, f)
+				continue
+			}
+			target[pos] = v
+			mask[pos] = 1
+			if rng.Bool(corruptFraction) {
+				in[pos] = lastObserved(k, sector, base+h, f)
+			} else {
+				in[pos] = v
+			}
+		}
+	}
+}
+
+// lastObserved returns the most recent observed (non-NaN) value of KPI f
+// strictly before hour j for the sector, or 0 (the normalised mean) when
+// none exists.
+func lastObserved(k *tensor.Tensor3, sector, j, f int) float64 {
+	for t := j - 1; t >= 0 && t >= j-timegrid.HoursPerWeek; t-- {
+		v := k.At(sector, t, f)
+		if !math.IsNaN(v) {
+			return v
+		}
+	}
+	return 0
+}
+
+// Impute returns a copy of k with every missing entry replaced by the
+// autoencoder reconstruction (observed entries are passed through
+// untouched, as in the paper's Fig. 5).
+func (im *Imputer) Impute(k *tensor.Tensor3) (*tensor.Tensor3, error) {
+	if k.F != im.kpis {
+		return nil, fmt.Errorf("impute: tensor has %d KPIs, model trained on %d", k.F, im.kpis)
+	}
+	if k.T%timegrid.HoursPerWeek != 0 {
+		return nil, fmt.Errorf("impute: %d hours is not whole weeks", k.T)
+	}
+	weeks := k.T / timegrid.HoursPerWeek
+	work := k.Clone()
+	im.norm.Apply(work)
+	out := work.Clone()
+
+	in := neural.NewBatch(1, im.width)
+	for i := 0; i < k.N; i++ {
+		for w := 0; w < weeks; w++ {
+			base := w * timegrid.HoursPerWeek
+			hasMissing := false
+			for h := 0; h < timegrid.HoursPerWeek && !hasMissing; h++ {
+				cell := work.Cell(i, base+h)
+				for f := range cell {
+					if math.IsNaN(cell[f]) {
+						hasMissing = true
+						break
+					}
+				}
+			}
+			if !hasMissing {
+				continue
+			}
+			row := in.Row(0)
+			for h := 0; h < timegrid.HoursPerWeek; h++ {
+				cell := work.Cell(i, base+h)
+				for f := range cell {
+					v := cell[f]
+					if math.IsNaN(v) {
+						v = lastObserved(work, i, base+h, f)
+					}
+					row[h*k.F+f] = v
+				}
+			}
+			rec := im.net.Forward(in)
+			for h := 0; h < timegrid.HoursPerWeek; h++ {
+				cell := out.Cell(i, base+h)
+				for f := range cell {
+					if math.IsNaN(cell[f]) {
+						cell[f] = rec.At(0, h*k.F+f)
+					}
+				}
+			}
+		}
+	}
+	im.norm.Restore(out)
+	return out, nil
+}
+
+// ForwardFill returns a copy of k where each missing value is replaced by
+// the most recent observed value of the same sector and KPI (falling back
+// to the next observed value at series heads, then to the KPI's observed
+// mean).
+func ForwardFill(k *tensor.Tensor3) *tensor.Tensor3 {
+	out := k.Clone()
+	norm := FitNormalization(k)
+	for i := 0; i < k.N; i++ {
+		for f := 0; f < k.F; f++ {
+			last := math.NaN()
+			for j := 0; j < k.T; j++ {
+				v := out.At(i, j, f)
+				if !math.IsNaN(v) {
+					last = v
+					continue
+				}
+				if !math.IsNaN(last) {
+					out.Set(i, j, f, last)
+				}
+			}
+			// Heads: back-fill from the first observation.
+			next := math.NaN()
+			for j := k.T - 1; j >= 0; j-- {
+				v := out.At(i, j, f)
+				if !math.IsNaN(v) {
+					next = v
+					continue
+				}
+				if !math.IsNaN(next) {
+					out.Set(i, j, f, next)
+				} else {
+					out.Set(i, j, f, norm.Mean[f])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LinearInterpolate returns a copy of k where interior gaps are linearly
+// interpolated per sector and KPI; leading/trailing gaps fall back to the
+// nearest observation (or the KPI mean for fully missing series).
+func LinearInterpolate(k *tensor.Tensor3) *tensor.Tensor3 {
+	out := k.Clone()
+	norm := FitNormalization(k)
+	for i := 0; i < k.N; i++ {
+		for f := 0; f < k.F; f++ {
+			prevIdx := -1
+			for j := 0; j <= k.T; j++ {
+				isObs := j < k.T && !math.IsNaN(out.At(i, j, f))
+				if !isObs {
+					continue
+				}
+				if prevIdx >= 0 && j-prevIdx > 1 {
+					v0, v1 := out.At(i, prevIdx, f), out.At(i, j, f)
+					for t := prevIdx + 1; t < j; t++ {
+						frac := float64(t-prevIdx) / float64(j-prevIdx)
+						out.Set(i, t, f, v0+(v1-v0)*frac)
+					}
+				}
+				if prevIdx < 0 && j > 0 {
+					v := out.At(i, j, f)
+					for t := 0; t < j; t++ {
+						out.Set(i, t, f, v)
+					}
+				}
+				prevIdx = j
+			}
+			if prevIdx < 0 {
+				for t := 0; t < k.T; t++ {
+					out.Set(i, t, f, norm.Mean[f])
+				}
+				continue
+			}
+			v := out.At(i, prevIdx, f)
+			for t := prevIdx + 1; t < k.T; t++ {
+				out.Set(i, t, f, v)
+			}
+		}
+	}
+	return out
+}
+
+// Evaluate measures imputation quality: it hides a fraction of the observed
+// entries of k, imputes with fill, and returns the RMSE between imputed and
+// true values on the hidden entries, normalised per KPI by its observed
+// standard deviation (so KPIs on different scales contribute equally).
+func Evaluate(k *tensor.Tensor3, hideFraction float64, seed uint64,
+	fill func(*tensor.Tensor3) (*tensor.Tensor3, error)) (float64, error) {
+	rng := randx.New(seed, 0xe7a1)
+	norm := FitNormalization(k)
+	corrupted := k.Clone()
+	type hidden struct {
+		i, j, f int
+		v       float64
+	}
+	var hiddenEntries []hidden
+	for i := 0; i < k.N; i++ {
+		for j := 0; j < k.T; j++ {
+			cell := k.Cell(i, j)
+			for f, v := range cell {
+				if math.IsNaN(v) || !rng.Bool(hideFraction) {
+					continue
+				}
+				hiddenEntries = append(hiddenEntries, hidden{i, j, f, v})
+				corrupted.Set(i, j, f, math.NaN())
+			}
+		}
+	}
+	if len(hiddenEntries) == 0 {
+		return math.NaN(), fmt.Errorf("impute: nothing hidden for evaluation")
+	}
+	filled, err := fill(corrupted)
+	if err != nil {
+		return math.NaN(), err
+	}
+	se := 0.0
+	for _, h := range hiddenEntries {
+		diff := (filled.At(h.i, h.j, h.f) - h.v) / norm.Std[h.f]
+		se += diff * diff
+	}
+	return math.Sqrt(se / float64(len(hiddenEntries))), nil
+}
+
+// Wrap adapts an infallible filler to the Evaluate signature.
+func Wrap(f func(*tensor.Tensor3) *tensor.Tensor3) func(*tensor.Tensor3) (*tensor.Tensor3, error) {
+	return func(k *tensor.Tensor3) (*tensor.Tensor3, error) { return f(k), nil }
+}
+
+// MissingFraction reports the NaN fraction of a tensor (re-exported for
+// convenience alongside the filters).
+func MissingFraction(k *tensor.Tensor3) float64 { return k.MissingFraction() }

@@ -1,0 +1,271 @@
+package impute
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/tensor"
+	"repro/internal/timegrid"
+)
+
+// tinyTensor builds a 1-week, few-KPI tensor with smooth structure for fast
+// autoencoder tests.
+func tinyTensor(n, weeks, kpis int) *tensor.Tensor3 {
+	k := tensor.NewTensor3(n, weeks*timegrid.HoursPerWeek, kpis)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k.T; j++ {
+			for f := 0; f < kpis; f++ {
+				// Diurnal sinusoid with sector/KPI-specific phase.
+				k.Set(i, j, f, math.Sin(2*math.Pi*float64(j%24)/24+float64(i+f))+float64(f))
+			}
+		}
+	}
+	return k
+}
+
+func TestFitNormalization(t *testing.T) {
+	k := tensor.NewTensor3(1, timegrid.HoursPerWeek, 2)
+	for j := 0; j < k.T; j++ {
+		k.Set(0, j, 0, 10)
+		k.Set(0, j, 1, float64(j%2)) // alternating 0/1
+	}
+	k.Set(0, 0, 0, math.NaN())
+	nm := FitNormalization(k)
+	if nm.Mean[0] != 10 || nm.Std[0] != 1 { // zero variance -> std 1
+		t.Fatalf("KPI0 norm = %v/%v", nm.Mean[0], nm.Std[0])
+	}
+	if math.Abs(nm.Mean[1]-0.5) > 1e-9 || math.Abs(nm.Std[1]-0.5) > 1e-9 {
+		t.Fatalf("KPI1 norm = %v/%v", nm.Mean[1], nm.Std[1])
+	}
+}
+
+func TestNormalizationRoundTrip(t *testing.T) {
+	k := tinyTensor(2, 1, 3)
+	orig := k.Clone()
+	nm := FitNormalization(k)
+	nm.Apply(k)
+	// After apply, per-KPI mean ~0.
+	sum := 0.0
+	for j := 0; j < k.T; j++ {
+		sum += k.At(0, j, 1)
+	}
+	nm.Restore(k)
+	for i := range k.Data {
+		if math.Abs(k.Data[i]-orig.Data[i]) > 1e-9 {
+			t.Fatal("normalisation round trip failed")
+		}
+	}
+	_ = sum
+}
+
+func TestLastObserved(t *testing.T) {
+	k := tensor.NewTensor3(1, timegrid.HoursPerWeek, 1)
+	for j := 0; j < k.T; j++ {
+		k.Set(0, j, 0, math.NaN())
+	}
+	k.Set(0, 5, 0, 42)
+	if got := lastObserved(k, 0, 10, 0); got != 42 {
+		t.Fatalf("lastObserved = %v, want 42", got)
+	}
+	if got := lastObserved(k, 0, 3, 0); got != 0 {
+		t.Fatalf("lastObserved before any data = %v, want 0", got)
+	}
+}
+
+func TestForwardFill(t *testing.T) {
+	k := tensor.NewTensor3(1, timegrid.HoursPerWeek, 1)
+	for j := 0; j < k.T; j++ {
+		k.Set(0, j, 0, float64(j))
+	}
+	k.Set(0, 10, 0, math.NaN())
+	k.Set(0, 11, 0, math.NaN())
+	k.Set(0, 0, 0, math.NaN()) // head gap
+	out := ForwardFill(k)
+	if out.At(0, 10, 0) != 9 || out.At(0, 11, 0) != 9 {
+		t.Fatalf("forward fill = %v,%v, want 9,9", out.At(0, 10, 0), out.At(0, 11, 0))
+	}
+	if out.At(0, 0, 0) != 1 { // back-filled from first observation
+		t.Fatalf("head fill = %v, want 1", out.At(0, 0, 0))
+	}
+	if out.MissingFraction() != 0 {
+		t.Fatal("forward fill left NaNs")
+	}
+}
+
+func TestLinearInterpolate(t *testing.T) {
+	k := tensor.NewTensor3(1, timegrid.HoursPerWeek, 1)
+	for j := 0; j < k.T; j++ {
+		k.Set(0, j, 0, float64(j))
+	}
+	k.Set(0, 5, 0, math.NaN())
+	k.Set(0, 6, 0, math.NaN())
+	out := LinearInterpolate(k)
+	if math.Abs(out.At(0, 5, 0)-5) > 1e-9 || math.Abs(out.At(0, 6, 0)-6) > 1e-9 {
+		t.Fatalf("interp = %v,%v, want 5,6", out.At(0, 5, 0), out.At(0, 6, 0))
+	}
+	if out.MissingFraction() != 0 {
+		t.Fatal("interpolation left NaNs")
+	}
+}
+
+func TestLinearInterpolateFullyMissingSeries(t *testing.T) {
+	k := tensor.NewTensor3(2, timegrid.HoursPerWeek, 1)
+	for j := 0; j < k.T; j++ {
+		k.Set(0, j, 0, 7)
+		k.Set(1, j, 0, math.NaN())
+	}
+	out := LinearInterpolate(k)
+	if out.MissingFraction() != 0 {
+		t.Fatal("fully missing series not filled")
+	}
+	if out.At(1, 3, 0) != 7 {
+		t.Fatalf("fully missing series filled with %v, want KPI mean 7", out.At(1, 3, 0))
+	}
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	k := tensor.NewTensor3(1, 100, 2) // not whole weeks
+	if _, err := Train(k, DefaultConfig()); err == nil {
+		t.Fatal("expected error for partial weeks")
+	}
+	k2 := tinyTensor(1, 1, 2)
+	cfg := DefaultConfig()
+	cfg.Depth = 0
+	if _, err := Train(k2, cfg); err == nil {
+		t.Fatal("expected error for bad depth")
+	}
+}
+
+func TestAutoencoderImputesSinusoid(t *testing.T) {
+	// Small, strongly structured data: the autoencoder should beat a naive
+	// forward fill on long gaps.
+	k := tinyTensor(6, 2, 3)
+	cfg := Config{
+		Seed: 3, Depth: 2, Epochs: 60, BatchSize: 16,
+		LearningRate: 1e-3, Rho: 0.95, CorruptFraction: 0.5,
+	}
+	im, err := Train(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aeRMSE, err := Evaluate(k, 0.1, 11, im.Impute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(aeRMSE) || aeRMSE > 1.5 {
+		t.Fatalf("autoencoder RMSE = %v (normalised units), too high", aeRMSE)
+	}
+	out, err := im.Impute(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MissingFraction() != 0 {
+		t.Fatal("imputation left NaNs (input had none; clone should too)")
+	}
+}
+
+func TestImputePreservesObserved(t *testing.T) {
+	k := tinyTensor(3, 1, 2)
+	k.Set(0, 10, 0, math.NaN())
+	cfg := Config{Seed: 5, Depth: 1, Epochs: 3, BatchSize: 8,
+		LearningRate: 1e-3, Rho: 0.9, CorruptFraction: 0.3}
+	im, err := Train(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every observed entry must be bit-identical after the round trip
+	// modulo normalisation floating point (tolerance).
+	for i := 0; i < k.N; i++ {
+		for j := 0; j < k.T; j++ {
+			for f := 0; f < k.F; f++ {
+				v := k.At(i, j, f)
+				if math.IsNaN(v) {
+					if math.IsNaN(out.At(i, j, f)) {
+						t.Fatal("missing entry not imputed")
+					}
+					continue
+				}
+				if math.Abs(out.At(i, j, f)-v) > 1e-9 {
+					t.Fatalf("observed entry changed: %v -> %v", v, out.At(i, j, f))
+				}
+			}
+		}
+	}
+}
+
+func TestImputeShapeMismatch(t *testing.T) {
+	k := tinyTensor(2, 1, 2)
+	cfg := Config{Seed: 5, Depth: 1, Epochs: 2, BatchSize: 4,
+		LearningRate: 1e-3, Rho: 0.9, CorruptFraction: 0.3}
+	im, err := Train(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := im.Impute(tinyTensor(2, 1, 3)); err == nil {
+		t.Fatal("expected KPI-count mismatch error")
+	}
+}
+
+func TestEvaluateComparesBaselines(t *testing.T) {
+	// On smooth sinusoidal data, linear interpolation must beat forward
+	// fill on randomly hidden points.
+	k := tinyTensor(4, 1, 2)
+	ffRMSE, err := Evaluate(k, 0.1, 21, Wrap(ForwardFill))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liRMSE, err := Evaluate(k, 0.1, 21, Wrap(LinearInterpolate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liRMSE >= ffRMSE {
+		t.Fatalf("linear interp RMSE %v >= forward fill %v on smooth data", liRMSE, ffRMSE)
+	}
+}
+
+func TestEvaluateErrorsWhenNothingHidden(t *testing.T) {
+	k := tinyTensor(1, 1, 1)
+	if _, err := Evaluate(k, 0, 1, Wrap(ForwardFill)); err == nil {
+		t.Fatal("expected error when hide fraction is 0")
+	}
+}
+
+func TestImputeOnSyntheticData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("autoencoder training on synthetic data is slow")
+	}
+	cfg := simnet.DefaultConfig()
+	cfg.Sectors = 30
+	cfg.Weeks = 4
+	ds, err := simnet.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reduce to a few KPIs for speed.
+	small := tensor.NewTensor3(ds.K.N, ds.K.T, 4)
+	for i := 0; i < ds.K.N; i++ {
+		for j := 0; j < ds.K.T; j++ {
+			for f := 0; f < 4; f++ {
+				small.Set(i, j, f, ds.K.At(i, j, f*3))
+			}
+		}
+	}
+	icfg := Config{Seed: 7, Depth: 2, Epochs: 8, BatchSize: 32,
+		LearningRate: 5e-4, Rho: 0.95, CorruptFraction: 0.5}
+	im, err := Train(small, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := im.Impute(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MissingFraction() != 0 {
+		t.Fatalf("imputation left %.3f missing", out.MissingFraction())
+	}
+}

@@ -1,0 +1,372 @@
+package mathx
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestHeaviside(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{-1, 0}, {-1e-12, 0}, {0, 1}, {1e-12, 1}, {5, 1}, {math.NaN(), 0},
+		{math.Inf(1), 1}, {math.Inf(-1), 0},
+	}
+	for _, c := range cases {
+		if got := Heaviside(c.in); got != c.want {
+			t.Errorf("Heaviside(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMeanIgnoresNaN(t *testing.T) {
+	xs := []float64{1, math.NaN(), 3}
+	if got := Mean(xs); got != 2 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+}
+
+func TestMeanEmptyAndAllNaN(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Mean([]float64{math.NaN(), math.NaN()})) {
+		t.Error("Mean(all NaN) should be NaN")
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1, math.NaN(), 2.5}); got != 3.5 {
+		t.Fatalf("Sum = %v, want 3.5", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Fatalf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Std(xs); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("Std = %v, want 2", got)
+	}
+	if got := Std([]float64{5}); got != 0 {
+		t.Fatalf("Std single = %v, want 0", got)
+	}
+	if !math.IsNaN(Std(nil)) {
+		t.Error("Std(nil) should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{math.NaN(), 3, -1, 7})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = (%v,%v), want (-1,7)", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Fatal("MinMax(nil) should be (NaN,NaN)")
+	}
+}
+
+func TestPercentileKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75}, {75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSingleValue(t *testing.T) {
+	for _, p := range []float64{0, 37, 50, 100} {
+		if got := Percentile([]float64{42}, p); got != 42 {
+			t.Errorf("Percentile(single, %v) = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestPercentilesMatchSingle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	ps := []float64{5, 25, 50, 75, 95}
+	multi := Percentiles(xs, ps)
+	for i, p := range ps {
+		if got := Percentile(xs, p); got != multi[i] {
+			t.Errorf("Percentiles mismatch at p=%v: %v vs %v", p, multi[i], got)
+		}
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa := float64(a) / 255 * 100
+		pb := float64(b) / 255 * 100
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := Percentile(xs, pa), Percentile(xs, pb)
+		lo, hi := MinMax(xs)
+		return va <= vb && va >= lo && vb <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, neg); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonConstantIsNaN(t *testing.T) {
+	x := []float64{1, 1, 1}
+	y := []float64{1, 2, 3}
+	if !math.IsNaN(Pearson(x, y)) {
+		t.Fatal("Pearson with zero variance should be NaN")
+	}
+}
+
+func TestPearsonSkipsNaNPairs(t *testing.T) {
+	x := []float64{1, math.NaN(), 2, 3}
+	y := []float64{2, 100, 4, 6}
+	if got := Pearson(x, y); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, want 1 (NaN pair skipped)", got)
+	}
+}
+
+// Property: |Pearson| <= 1 for random finite data.
+func TestPearsonBoundedProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		m := int(n%60) + 3
+		x := make([]float64, m)
+		y := make([]float64, m)
+		for i := 0; i < m; i++ {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r := Pearson(x, y)
+		return math.IsNaN(r) || (r >= -1-1e-9 && r <= 1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgsortDesc(t *testing.T) {
+	xs := []float64{3, math.NaN(), 5, 1, 5}
+	idx := ArgsortDesc(xs)
+	want := []int{2, 4, 0, 3, 1}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("ArgsortDesc = %v, want %v", idx, want)
+		}
+	}
+}
+
+// Property: ArgsortDesc yields a permutation with non-increasing values
+// (NaNs last).
+func TestArgsortDescProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		idx := ArgsortDesc(xs)
+		if len(idx) != len(xs) {
+			return false
+		}
+		seen := make([]bool, len(xs))
+		for _, i := range idx {
+			if i < 0 || i >= len(xs) || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		sawNaN := false
+		for j := 1; j < len(idx); j++ {
+			a, b := xs[idx[j-1]], xs[idx[j]]
+			if math.IsNaN(a) {
+				sawNaN = true
+			}
+			if sawNaN && !math.IsNaN(a) {
+				return false
+			}
+			if !math.IsNaN(a) && !math.IsNaN(b) && a < b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("Linspace = %v, want %v", got, want)
+		}
+	}
+	if got := Linspace(2, 9, 1); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Linspace n=1 = %v", got)
+	}
+	if Linspace(0, 1, 0) != nil {
+		t.Fatal("Linspace n=0 should be nil")
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	got := LogBuckets(0.1, 5)
+	want := []float64{0, 0.1, 0.2, 0.4, 0.8}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("LogBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	edges := []float64{0, 1, 2, 4}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {0.5, 0}, {1, 1}, {1.5, 1}, {2, 2}, {3.9, 2}, {4, 3}, {100, 3},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(edges, c.x); got != c.want {
+			t.Errorf("BucketIndex(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestHistogramAndNormalize(t *testing.T) {
+	edges := []float64{0, 1, 2}
+	counts := Histogram(edges, []float64{0.5, 1.5, 1.7, 2.5, math.NaN()})
+	if counts[0] != 1 || counts[1] != 2 || counts[2] != 1 {
+		t.Fatalf("Histogram = %v", counts)
+	}
+	rel := NormalizeCounts(counts)
+	sum := 0.0
+	for _, r := range rel {
+		sum += r
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Fatalf("normalized sum = %v", sum)
+	}
+	zero := NormalizeCounts([]int{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("NormalizeCounts of zeros should be zeros")
+	}
+}
+
+// Property: histogram counts all finite values exactly once.
+func TestHistogramCountsAllProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		edges := []float64{0, 1, 10, 100}
+		counts := Histogram(edges, xs)
+		total, finiteCount := 0, 0
+		for _, c := range counts {
+			total += c
+		}
+		for _, x := range xs {
+			if !math.IsNaN(x) {
+				finiteCount++
+			}
+		}
+		return total == finiteCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp misbehaves")
+	}
+}
+
+func TestSoftplusLogistic(t *testing.T) {
+	if !almostEqual(Softplus(0), math.Log(2), 1e-12) {
+		t.Fatal("Softplus(0) != ln 2")
+	}
+	if got := Softplus(100); got != 100 {
+		t.Fatalf("Softplus(100) = %v", got)
+	}
+	if got := Softplus(-100); !almostEqual(got, 0, 1e-12) {
+		t.Fatalf("Softplus(-100) = %v", got)
+	}
+	if !almostEqual(Logistic(0), 0.5, 1e-12) {
+		t.Fatal("Logistic(0) != 0.5")
+	}
+	if Logistic(100) != 1 || Logistic(-100) != 0 {
+		t.Fatal("Logistic saturation wrong")
+	}
+}
+
+// Property: Softplus is non-negative and monotone.
+func TestSoftplusProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		sa, sb := Softplus(a), Softplus(b)
+		return sa >= 0 && sb >= 0 && sa <= sb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileAgainstSortReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if got := Percentile(xs, 0); got != sorted[0] {
+		t.Fatalf("p0 = %v, want %v", got, sorted[0])
+	}
+	if got := Percentile(xs, 100); got != sorted[len(sorted)-1] {
+		t.Fatalf("p100 = %v, want %v", got, sorted[len(sorted)-1])
+	}
+}

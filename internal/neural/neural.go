@@ -1,0 +1,332 @@
+// Package neural is a minimal dense neural-network stack sufficient for the
+// paper's missing-value imputation model (Sec. II-C): fully connected
+// layers, parametric rectified linear units (PReLU), a mean-squared-error
+// loss masked to observed entries, and the RMSprop optimiser. Everything is
+// float64 and single-machine; batches are dense matrices with one example
+// per row.
+package neural
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/randx"
+)
+
+// Batch is a dense minibatch: Rows examples of Cols values each.
+type Batch struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewBatch allocates a zeroed batch.
+func NewBatch(rows, cols int) *Batch {
+	return &Batch{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (b *Batch) At(i, j int) float64 { return b.Data[i*b.Cols+j] }
+
+// Set assigns element (i, j).
+func (b *Batch) Set(i, j int, v float64) { b.Data[i*b.Cols+j] = v }
+
+// Row returns row i sharing storage.
+func (b *Batch) Row(i int) []float64 { return b.Data[i*b.Cols : (i+1)*b.Cols] }
+
+// Layer is a differentiable network stage. Forward consumes a batch and
+// produces the next batch; Backward consumes the gradient of the loss with
+// respect to its output and returns the gradient with respect to its input,
+// accumulating parameter gradients internally.
+type Layer interface {
+	Forward(in *Batch) *Batch
+	Backward(gradOut *Batch) *Batch
+	// Params returns parameter/gradient slice pairs for the optimiser; both
+	// slices of a pair have equal length.
+	Params() []ParamGrad
+}
+
+// ParamGrad couples a parameter slice with its gradient accumulator.
+type ParamGrad struct {
+	Param []float64
+	Grad  []float64
+}
+
+// Dense is a fully connected layer: out = in * W^T + b, with W of shape
+// Out x In.
+type Dense struct {
+	In, Out int
+	W       []float64 // Out x In, row-major
+	B       []float64
+	gradW   []float64
+	gradB   []float64
+	lastIn  *Batch
+}
+
+// NewDense builds a dense layer with He-uniform initial weights, the
+// standard choice for rectifier networks (and the initialisation the
+// paper's PReLU reference advocates).
+func NewDense(in, out int, rng *randx.RNG) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W:     make([]float64, in*out),
+		B:     make([]float64, out),
+		gradW: make([]float64, in*out),
+		gradB: make([]float64, out),
+	}
+	limit := math.Sqrt(6.0 / float64(in))
+	for i := range d.W {
+		d.W[i] = rng.Uniform(-limit, limit)
+	}
+	return d
+}
+
+// Forward computes the affine map for the batch.
+func (d *Dense) Forward(in *Batch) *Batch {
+	if in.Cols != d.In {
+		panic(fmt.Sprintf("neural: dense expects %d inputs, got %d", d.In, in.Cols))
+	}
+	d.lastIn = in
+	out := NewBatch(in.Rows, d.Out)
+	for r := 0; r < in.Rows; r++ {
+		src := in.Row(r)
+		dst := out.Row(r)
+		for o := 0; o < d.Out; o++ {
+			w := d.W[o*d.In : (o+1)*d.In]
+			sum := d.B[o]
+			for i, v := range src {
+				sum += w[i] * v
+			}
+			dst[o] = sum
+		}
+	}
+	return out
+}
+
+// Backward accumulates weight/bias gradients and returns the input gradient.
+func (d *Dense) Backward(gradOut *Batch) *Batch {
+	in := d.lastIn
+	gradIn := NewBatch(in.Rows, d.In)
+	for r := 0; r < in.Rows; r++ {
+		src := in.Row(r)
+		g := gradOut.Row(r)
+		gi := gradIn.Row(r)
+		for o := 0; o < d.Out; o++ {
+			go_ := g[o]
+			if go_ == 0 {
+				continue
+			}
+			d.gradB[o] += go_
+			w := d.W[o*d.In : (o+1)*d.In]
+			gw := d.gradW[o*d.In : (o+1)*d.In]
+			for i, v := range src {
+				gw[i] += go_ * v
+				gi[i] += go_ * w[i]
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params exposes weights and biases to the optimiser.
+func (d *Dense) Params() []ParamGrad {
+	return []ParamGrad{{d.W, d.gradW}, {d.B, d.gradB}}
+}
+
+// PReLU is the parametric rectified linear unit: f(x) = x for x >= 0 and
+// a*x otherwise, with one learnable slope per channel.
+type PReLU struct {
+	Alpha     []float64
+	gradAlpha []float64
+	lastIn    *Batch
+}
+
+// NewPReLU builds a PReLU over width channels with the customary initial
+// slope of 0.25.
+func NewPReLU(width int) *PReLU {
+	p := &PReLU{Alpha: make([]float64, width), gradAlpha: make([]float64, width)}
+	for i := range p.Alpha {
+		p.Alpha[i] = 0.25
+	}
+	return p
+}
+
+// Forward applies the activation elementwise.
+func (p *PReLU) Forward(in *Batch) *Batch {
+	if in.Cols != len(p.Alpha) {
+		panic(fmt.Sprintf("neural: prelu expects %d channels, got %d", len(p.Alpha), in.Cols))
+	}
+	p.lastIn = in
+	out := NewBatch(in.Rows, in.Cols)
+	for r := 0; r < in.Rows; r++ {
+		src := in.Row(r)
+		dst := out.Row(r)
+		for j, v := range src {
+			if v >= 0 {
+				dst[j] = v
+			} else {
+				dst[j] = p.Alpha[j] * v
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the two linear pieces and accumulates
+// the slope gradient.
+func (p *PReLU) Backward(gradOut *Batch) *Batch {
+	in := p.lastIn
+	gradIn := NewBatch(in.Rows, in.Cols)
+	for r := 0; r < in.Rows; r++ {
+		src := in.Row(r)
+		g := gradOut.Row(r)
+		gi := gradIn.Row(r)
+		for j, v := range src {
+			if v >= 0 {
+				gi[j] = g[j]
+			} else {
+				gi[j] = g[j] * p.Alpha[j]
+				p.gradAlpha[j] += g[j] * v
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params exposes the learnable slopes.
+func (p *PReLU) Params() []ParamGrad { return []ParamGrad{{p.Alpha, p.gradAlpha}} }
+
+// Network is a sequential stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// Forward runs the batch through every layer.
+func (n *Network) Forward(in *Batch) *Batch {
+	out := in
+	for _, l := range n.Layers {
+		out = l.Forward(out)
+	}
+	return out
+}
+
+// Backward propagates the output gradient back through every layer.
+func (n *Network) Backward(gradOut *Batch) {
+	g := gradOut
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+}
+
+// Params collects every layer's parameters.
+func (n *Network) Params() []ParamGrad {
+	var out []ParamGrad
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (n *Network) ZeroGrad() {
+	for _, pg := range n.Params() {
+		for i := range pg.Grad {
+			pg.Grad[i] = 0
+		}
+	}
+}
+
+// MaskedMSE computes 0.5 * mean((pred-target)^2) over entries where mask is
+// non-zero, and writes the corresponding gradient into grad (zero where the
+// mask is zero). It returns the loss and the number of unmasked entries.
+// This is the paper's reconstruction loss restricted to originally observed
+// values.
+func MaskedMSE(pred, target, mask *Batch, grad *Batch) (float64, int) {
+	loss := 0.0
+	count := 0
+	for i := range pred.Data {
+		if mask.Data[i] == 0 {
+			grad.Data[i] = 0
+			continue
+		}
+		diff := pred.Data[i] - target.Data[i]
+		loss += 0.5 * diff * diff
+		grad.Data[i] = diff
+		count++
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	inv := 1.0 / float64(count)
+	for i := range grad.Data {
+		grad.Data[i] *= inv
+	}
+	return loss * inv, count
+}
+
+// RMSprop is the optimiser the paper trains its autoencoder with: a running
+// average of squared gradients normalises each update.
+type RMSprop struct {
+	LR    float64 // learning rate (paper: 1e-4)
+	Rho   float64 // smoothing factor (paper: 0.99)
+	Eps   float64
+	cache map[*float64][]float64
+}
+
+// NewRMSprop constructs the optimiser.
+func NewRMSprop(lr, rho float64) *RMSprop {
+	return &RMSprop{LR: lr, Rho: rho, Eps: 1e-8, cache: map[*float64][]float64{}}
+}
+
+// Step applies one update to every parameter and leaves gradients untouched
+// (call Network.ZeroGrad before the next batch).
+func (o *RMSprop) Step(params []ParamGrad) {
+	for _, pg := range params {
+		if len(pg.Param) == 0 {
+			continue
+		}
+		key := &pg.Param[0]
+		c, ok := o.cache[key]
+		if !ok {
+			c = make([]float64, len(pg.Param))
+			o.cache[key] = c
+		}
+		for i := range pg.Param {
+			g := pg.Grad[i]
+			c[i] = o.Rho*c[i] + (1-o.Rho)*g*g
+			pg.Param[i] -= o.LR * g / (math.Sqrt(c[i]) + o.Eps)
+		}
+	}
+}
+
+// Autoencoder builds the paper's architecture: an encoder of `depth` dense
+// layers, each halving its input width, with PReLU activations, and a
+// symmetric decoder. The innermost width is inputWidth / 2^depth (at least
+// 1).
+func Autoencoder(inputWidth, depth int, rng *randx.RNG) *Network {
+	if inputWidth < 1 || depth < 1 {
+		panic("neural: bad autoencoder shape")
+	}
+	widths := []int{inputWidth}
+	w := inputWidth
+	for d := 0; d < depth; d++ {
+		w /= 2
+		if w < 1 {
+			w = 1
+		}
+		widths = append(widths, w)
+	}
+	net := &Network{}
+	// Encoder.
+	for d := 0; d < depth; d++ {
+		net.Layers = append(net.Layers, NewDense(widths[d], widths[d+1], rng))
+		net.Layers = append(net.Layers, NewPReLU(widths[d+1]))
+	}
+	// Decoder (symmetric; final layer linear so outputs are unbounded).
+	for d := depth; d > 0; d-- {
+		net.Layers = append(net.Layers, NewDense(widths[d], widths[d-1], rng))
+		if d > 1 {
+			net.Layers = append(net.Layers, NewPReLU(widths[d-1]))
+		}
+	}
+	return net
+}

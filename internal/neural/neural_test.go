@@ -1,0 +1,275 @@
+package neural
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func TestDenseForwardKnown(t *testing.T) {
+	d := NewDense(2, 1, randx.New(1, 1))
+	d.W[0], d.W[1] = 2, 3
+	d.B[0] = 1
+	in := NewBatch(1, 2)
+	in.Set(0, 0, 4)
+	in.Set(0, 1, 5)
+	out := d.Forward(in)
+	if got := out.At(0, 0); got != 2*4+3*5+1 {
+		t.Fatalf("dense forward = %v, want 24", got)
+	}
+}
+
+func TestDenseShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(3, 1, randx.New(1, 1)).Forward(NewBatch(1, 2))
+}
+
+// numericalGrad estimates dLoss/dParam by central differences.
+func numericalGrad(f func() float64, p *float64) float64 {
+	const h = 1e-6
+	orig := *p
+	*p = orig + h
+	up := f()
+	*p = orig - h
+	down := f()
+	*p = orig
+	return (up - down) / (2 * h)
+}
+
+func TestDenseBackwardMatchesNumerical(t *testing.T) {
+	rng := randx.New(7, 8)
+	d := NewDense(3, 2, rng)
+	in := NewBatch(2, 3)
+	target := NewBatch(2, 2)
+	mask := NewBatch(2, 2)
+	for i := range in.Data {
+		in.Data[i] = rng.Norm(0, 1)
+	}
+	for i := range target.Data {
+		target.Data[i] = rng.Norm(0, 1)
+		mask.Data[i] = 1
+	}
+	loss := func() float64 {
+		out := d.Forward(in)
+		g := NewBatch(2, 2)
+		l, _ := MaskedMSE(out, target, mask, g)
+		return l
+	}
+	// Analytic gradients.
+	out := d.Forward(in)
+	grad := NewBatch(2, 2)
+	MaskedMSE(out, target, mask, grad)
+	for i := range d.gradW {
+		d.gradW[i] = 0
+	}
+	for i := range d.gradB {
+		d.gradB[i] = 0
+	}
+	d.Backward(grad)
+	for i := range d.W {
+		num := numericalGrad(loss, &d.W[i])
+		if math.Abs(num-d.gradW[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("W[%d]: analytic %v vs numeric %v", i, d.gradW[i], num)
+		}
+	}
+	for i := range d.B {
+		num := numericalGrad(loss, &d.B[i])
+		if math.Abs(num-d.gradB[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("B[%d]: analytic %v vs numeric %v", i, d.gradB[i], num)
+		}
+	}
+}
+
+func TestPReLUForward(t *testing.T) {
+	p := NewPReLU(2)
+	p.Alpha[0], p.Alpha[1] = 0.1, 0.5
+	in := NewBatch(1, 2)
+	in.Set(0, 0, -2)
+	in.Set(0, 1, 3)
+	out := p.Forward(in)
+	if out.At(0, 0) != -0.2 || out.At(0, 1) != 3 {
+		t.Fatalf("prelu forward = %v", out.Data)
+	}
+}
+
+func TestPReLUBackwardMatchesNumerical(t *testing.T) {
+	rng := randx.New(9, 10)
+	net := &Network{Layers: []Layer{NewDense(2, 3, rng), NewPReLU(3), NewDense(3, 2, rng)}}
+	in := NewBatch(3, 2)
+	target := NewBatch(3, 2)
+	mask := NewBatch(3, 2)
+	for i := range in.Data {
+		in.Data[i] = rng.Norm(0, 1)
+		target.Data[i] = rng.Norm(0, 1)
+		mask.Data[i] = 1
+	}
+	loss := func() float64 {
+		out := net.Forward(in)
+		g := NewBatch(3, 2)
+		l, _ := MaskedMSE(out, target, mask, g)
+		return l
+	}
+	out := net.Forward(in)
+	grad := NewBatch(3, 2)
+	MaskedMSE(out, target, mask, grad)
+	net.ZeroGrad()
+	net.Backward(grad)
+	for _, pg := range net.Params() {
+		for i := range pg.Param {
+			num := numericalGrad(loss, &pg.Param[i])
+			if math.Abs(num-pg.Grad[i]) > 1e-5*(1+math.Abs(num)) {
+				t.Fatalf("param grad mismatch: analytic %v vs numeric %v", pg.Grad[i], num)
+			}
+		}
+	}
+}
+
+func TestMaskedMSE(t *testing.T) {
+	pred := NewBatch(1, 3)
+	target := NewBatch(1, 3)
+	mask := NewBatch(1, 3)
+	pred.Data = []float64{1, 2, 100}
+	target.Data = []float64{0, 2, 0}
+	mask.Data = []float64{1, 1, 0} // third entry masked out
+	grad := NewBatch(1, 3)
+	loss, n := MaskedMSE(pred, target, mask, grad)
+	if n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+	if math.Abs(loss-0.25) > 1e-12 { // 0.5*(1^2)/2
+		t.Fatalf("loss = %v, want 0.25", loss)
+	}
+	if grad.Data[2] != 0 {
+		t.Fatal("masked entry should have zero gradient")
+	}
+	if grad.Data[0] != 0.5 {
+		t.Fatalf("grad[0] = %v, want 0.5", grad.Data[0])
+	}
+}
+
+func TestMaskedMSEAllMasked(t *testing.T) {
+	pred := NewBatch(1, 2)
+	grad := NewBatch(1, 2)
+	loss, n := MaskedMSE(pred, NewBatch(1, 2), NewBatch(1, 2), grad)
+	if loss != 0 || n != 0 {
+		t.Fatal("fully masked loss should be 0")
+	}
+}
+
+func TestRMSpropConvergesOnQuadratic(t *testing.T) {
+	// Minimise (x-3)^2 with RMSprop.
+	x := []float64{0}
+	g := []float64{0}
+	opt := NewRMSprop(0.05, 0.9)
+	for i := 0; i < 2000; i++ {
+		g[0] = 2 * (x[0] - 3)
+		opt.Step([]ParamGrad{{x, g}})
+	}
+	if math.Abs(x[0]-3) > 0.05 {
+		t.Fatalf("RMSprop converged to %v, want 3", x[0])
+	}
+}
+
+func TestAutoencoderShape(t *testing.T) {
+	net := Autoencoder(16, 2, randx.New(1, 2))
+	// encoder: 16->8 prelu 8->4 prelu ; decoder: 4->8 prelu 8->16
+	in := NewBatch(3, 16)
+	out := net.Forward(in)
+	if out.Rows != 3 || out.Cols != 16 {
+		t.Fatalf("autoencoder output shape = %dx%d", out.Rows, out.Cols)
+	}
+	// Innermost layer width must be 4.
+	dense := 0
+	for _, l := range net.Layers {
+		if d, ok := l.(*Dense); ok {
+			dense++
+			if dense == 2 && d.Out != 4 {
+				t.Fatalf("bottleneck = %d, want 4", d.Out)
+			}
+		}
+	}
+	if dense != 4 {
+		t.Fatalf("dense layers = %d, want 4", dense)
+	}
+}
+
+func TestAutoencoderPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Autoencoder(0, 1, randx.New(1, 1))
+}
+
+func TestAutoencoderLearnsIdentityOnLowRankData(t *testing.T) {
+	// Data lies on a 2-D manifold in 8-D space; a depth-1 autoencoder
+	// (bottleneck 4) must reconstruct it well after training.
+	rng := randx.New(42, 42)
+	net := Autoencoder(8, 1, rng)
+	opt := NewRMSprop(1e-3, 0.95)
+	basis := [2][]float64{make([]float64, 8), make([]float64, 8)}
+	for i := 0; i < 8; i++ {
+		basis[0][i] = rng.Norm(0, 1)
+		basis[1][i] = rng.Norm(0, 1)
+	}
+	sample := func(b *Batch, r int) {
+		a, c := rng.Norm(0, 1), rng.Norm(0, 1)
+		for i := 0; i < 8; i++ {
+			b.Set(r, i, a*basis[0][i]+c*basis[1][i])
+		}
+	}
+	mask := NewBatch(16, 8)
+	for i := range mask.Data {
+		mask.Data[i] = 1
+	}
+	var last float64
+	for epoch := 0; epoch < 2500; epoch++ {
+		in := NewBatch(16, 8)
+		for r := 0; r < 16; r++ {
+			sample(in, r)
+		}
+		out := net.Forward(in)
+		grad := NewBatch(16, 8)
+		last, _ = MaskedMSE(out, in, mask, grad)
+		net.ZeroGrad()
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	if last > 0.1 {
+		t.Fatalf("autoencoder failed to learn low-rank data: loss %v", last)
+	}
+}
+
+// Property: PReLU forward is identity for non-negative inputs.
+func TestPReLUIdentityProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		p := NewPReLU(len(vals))
+		in := NewBatch(1, len(vals))
+		for j, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			in.Set(0, j, math.Abs(v))
+		}
+		out := p.Forward(in)
+		for j := 0; j < len(vals); j++ {
+			if out.At(0, j) != in.At(0, j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

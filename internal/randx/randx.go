@@ -1,0 +1,159 @@
+// Package randx wraps math/rand/v2 with the deterministic, seedable
+// conventions used throughout the reproduction.
+//
+// The paper's notation G(x, y) denotes a uniform random integer generator
+// with x <= G(x, y) <= y (Sec. II-C and the Random forecasting baseline use
+// it). RNG exposes that operation plus the float/normal/exponential draws
+// the synthetic trace generator needs. Every component of the system derives
+// its own sub-stream from a root seed so results are reproducible and
+// components are independent of evaluation order.
+package randx
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random source. The zero value is not usable; build
+// one with New or Derive.
+type RNG struct {
+	r *rand.Rand
+}
+
+// New returns an RNG seeded from the two words of seed material.
+func New(seed1, seed2 uint64) *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(seed1, seed2))}
+}
+
+// Derive returns an independent sub-stream identified by label. Deriving
+// with the same label always yields the same stream; distinct labels yield
+// streams that are independent for practical purposes.
+func (g *RNG) Derive(label string) *RNG {
+	h1, h2 := hashLabel(label)
+	return New(g.r.Uint64()^h1, h2)
+}
+
+// DeriveIndexed returns an independent sub-stream for (label, index), used
+// to give every sector, tree, or batch its own stream regardless of
+// processing order (important for parallel construction).
+func DeriveIndexed(root1, root2 uint64, label string, index int) *RNG {
+	h1, h2 := hashLabel(label)
+	return New(root1^h1^(uint64(index)*0x9e3779b97f4a7c15), root2^h2+uint64(index))
+}
+
+func hashLabel(label string) (uint64, uint64) {
+	// FNV-1a over the label, extended to two words.
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	var h uint64 = offset64
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	h2 := h ^ 0xabcdef1234567890
+	h2 *= prime64
+	return h, h2
+}
+
+// IntInclusive implements the paper's G(x, y): a uniform integer in the
+// closed interval [x, y]. It panics when y < x.
+func (g *RNG) IntInclusive(x, y int) int {
+	if y < x {
+		panic("randx: IntInclusive with y < x")
+	}
+	return x + g.r.IntN(y-x+1)
+}
+
+// IntN returns a uniform integer in [0, n).
+func (g *RNG) IntN(n int) int { return g.r.IntN(n) }
+
+// Float64 returns a uniform float in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Uniform returns a uniform float in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*g.r.Float64() }
+
+// Norm returns a normal draw with the given mean and standard deviation.
+func (g *RNG) Norm(mean, std float64) float64 { return mean + std*g.r.NormFloat64() }
+
+// Exp returns an exponential draw with the given mean (not rate). A mean of
+// zero returns zero.
+func (g *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle shuffles the first n integers of idx in place.
+func (g *RNG) Shuffle(idx []int) {
+	g.r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+}
+
+// Choice returns a random index in [0, len(weights)) with probability
+// proportional to weights[i]. Non-positive weights are treated as zero; when
+// all weights are zero the draw is uniform.
+func (g *RNG) Choice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 || math.IsNaN(total) {
+		return g.r.IntN(len(weights))
+	}
+	target := g.r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w > 0 {
+			acc += w
+		}
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// SampleWithReplacement returns k indices drawn uniformly with replacement
+// from [0, n).
+func (g *RNG) SampleWithReplacement(n, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = g.r.IntN(n)
+	}
+	return out
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n). It panics when k > n.
+func (g *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k > n {
+		panic("randx: sample larger than population")
+	}
+	// Partial Fisher-Yates: only the first k positions are materialised.
+	picked := make(map[int]int, k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + g.r.IntN(n-i)
+		vi, oki := picked[i]
+		if !oki {
+			vi = i
+		}
+		vj, okj := picked[j]
+		if !okj {
+			vj = j
+		}
+		out[i] = vj
+		picked[j] = vi
+		picked[i] = vj
+	}
+	return out
+}

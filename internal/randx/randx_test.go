@@ -1,0 +1,245 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(1, 2)
+	b := New(1, 2)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed should yield same stream")
+		}
+	}
+}
+
+func TestDeriveIsStableAndDistinct(t *testing.T) {
+	mk := func() (*RNG, *RNG) {
+		root := New(42, 43)
+		return root.Derive("sectors"), root.Derive("trees")
+	}
+	a1, b1 := mk()
+	a2, b2 := mk()
+	for i := 0; i < 50; i++ {
+		if a1.Float64() != a2.Float64() {
+			t.Fatal("Derive not stable")
+		}
+		if b1.Float64() != b2.Float64() {
+			t.Fatal("Derive not stable")
+		}
+	}
+	// distinct labels give distinct streams (vanishingly unlikely to collide)
+	c := New(42, 43).Derive("sectors")
+	d := New(42, 43).Derive("trees")
+	same := 0
+	for i := 0; i < 50; i++ {
+		if c.Float64() == d.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("streams for distinct labels look identical (%d/50 equal)", same)
+	}
+}
+
+func TestDeriveIndexedStable(t *testing.T) {
+	a := DeriveIndexed(7, 8, "sector", 12)
+	b := DeriveIndexed(7, 8, "sector", 12)
+	c := DeriveIndexed(7, 8, "sector", 13)
+	diff := false
+	for i := 0; i < 20; i++ {
+		av := a.Float64()
+		if av != b.Float64() {
+			t.Fatal("DeriveIndexed not stable")
+		}
+		if av != c.Float64() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("DeriveIndexed streams for distinct indices identical")
+	}
+}
+
+func TestIntInclusiveBounds(t *testing.T) {
+	g := New(5, 6)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := g.IntInclusive(3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("IntInclusive out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 7; v++ {
+		if !seen[v] {
+			t.Errorf("value %d never drawn", v)
+		}
+	}
+	if g.IntInclusive(4, 4) != 4 {
+		t.Fatal("degenerate interval should return its endpoint")
+	}
+}
+
+func TestIntInclusivePanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1, 1).IntInclusive(5, 4)
+}
+
+func TestUniformRange(t *testing.T) {
+	g := New(9, 1)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(-2, 3)
+		if v < -2 || v >= 3 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	g := New(11, 12)
+	n := 20000
+	sum, ss := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := g.Norm(10, 2)
+		sum += v
+		ss += v * v
+	}
+	mean := sum / float64(n)
+	variance := ss/float64(n) - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("Norm mean = %v", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.1 {
+		t.Fatalf("Norm std = %v", math.Sqrt(variance))
+	}
+}
+
+func TestExp(t *testing.T) {
+	g := New(2, 3)
+	n := 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := g.Exp(5)
+		if v < 0 {
+			t.Fatal("Exp negative")
+		}
+		sum += v
+	}
+	if mean := sum / float64(n); math.Abs(mean-5) > 0.25 {
+		t.Fatalf("Exp mean = %v, want ~5", mean)
+	}
+	if g.Exp(0) != 0 || g.Exp(-1) != 0 {
+		t.Fatal("Exp with non-positive mean should be 0")
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	g := New(4, 4)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[g.Choice([]float64{1, 0, 3})]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight option drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.6 || ratio > 3.4 {
+		t.Fatalf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestChoiceAllZeroUniform(t *testing.T) {
+	g := New(8, 8)
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		counts[g.Choice([]float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("all-zero Choice not uniform: counts[%d]=%d", i, c)
+		}
+	}
+}
+
+func TestSampleWithoutReplacementProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw) % (n + 1)
+		g := New(seed, 99)
+		s := g.SampleWithoutReplacement(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleWithoutReplacementFull(t *testing.T) {
+	g := New(1, 9)
+	s := g.SampleWithoutReplacement(10, 10)
+	seen := make([]bool, 10)
+	for _, v := range s {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("full sample missing %d", i)
+		}
+	}
+}
+
+func TestSampleWithReplacementBounds(t *testing.T) {
+	g := New(3, 3)
+	s := g.SampleWithReplacement(5, 100)
+	if len(s) != 100 {
+		t.Fatal("wrong length")
+	}
+	for _, v := range s {
+		if v < 0 || v >= 5 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := New(6, 6)
+	p := g.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatal("duplicate in Perm")
+		}
+		seen[v] = true
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	g := New(14, 15)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if g.Bool(0.25) {
+			hits++
+		}
+	}
+	if hits < 2200 || hits > 2800 {
+		t.Fatalf("Bool(0.25) hit rate = %d/10000", hits)
+	}
+}

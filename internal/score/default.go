@@ -1,0 +1,18 @@
+package score
+
+import "repro/internal/simnet"
+
+// DefaultHotThreshold is the operator threshold applied to rescaled scores;
+// it sits at the natural valley the paper's Fig. 4 exhibits near 0.6.
+const DefaultHotThreshold = 0.6
+
+// DefaultWeighting returns the weighting implied by the synthetic network's
+// KPI catalogue: the generator's Omega and epsilon with the standard hot
+// threshold.
+func DefaultWeighting() *Weighting {
+	w, err := NewWeighting(simnet.Weights(), simnet.Thresholds(), DefaultHotThreshold)
+	if err != nil {
+		panic(err) // impossible: the catalogue is statically valid
+	}
+	return w
+}

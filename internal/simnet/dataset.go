@@ -1,0 +1,135 @@
+package simnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/timegrid"
+)
+
+// gobDataset is the wire form of a Dataset: the grid is reduced to its
+// defining parameters so unexported state round-trips cleanly.
+type gobDataset struct {
+	StartUnix int64
+	Weeks     int
+	Holidays  []int64
+	Config    Config
+	Topo      *Topology
+	K         *tensor.Tensor3
+	Truth     *Truth
+}
+
+// Save writes the dataset to w in gob format.
+func (d *Dataset) Save(w io.Writer) error {
+	wire := gobDataset{
+		StartUnix: d.Grid.Start.Unix(),
+		Weeks:     d.Grid.Weeks,
+		Config:    d.Config,
+		Topo:      d.Topo,
+		K:         d.K,
+		Truth:     d.Truth,
+	}
+	for _, h := range timegrid.DefaultHolidays() {
+		wire.Holidays = append(wire.Holidays, h.Unix())
+	}
+	return gob.NewEncoder(w).Encode(&wire)
+}
+
+// Load reads a dataset previously written with Save.
+func Load(r io.Reader) (*Dataset, error) {
+	var wire gobDataset
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("simnet: decoding dataset: %w", err)
+	}
+	grid, err := timegrid.New(time.Unix(wire.StartUnix, 0).UTC(), wire.Weeks)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: reconstructing grid: %w", err)
+	}
+	holidays := make([]time.Time, 0, len(wire.Holidays))
+	for _, h := range wire.Holidays {
+		holidays = append(holidays, time.Unix(h, 0).UTC())
+	}
+	grid.SetHolidays(holidays)
+	return &Dataset{
+		Grid:   grid,
+		Config: wire.Config,
+		Topo:   wire.Topo,
+		K:      wire.K,
+		Truth:  wire.Truth,
+	}, nil
+}
+
+// SaveFile writes the dataset to path.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// SelectSectors returns a copy of the dataset restricted to the listed
+// sectors (used by the missing-value filtering step). Sector IDs in the
+// returned topology are re-numbered to be dense; tower membership is
+// preserved for the survivors. Truth episodes are re-indexed accordingly.
+func (d *Dataset) SelectSectors(keep []int) *Dataset {
+	remap := make(map[int]int, len(keep))
+	for newID, oldID := range keep {
+		remap[oldID] = newID
+	}
+	topo := &Topology{CityX: d.Topo.CityX, CityY: d.Topo.CityY}
+	towerRemap := map[int]int{}
+	for _, oldID := range keep {
+		old := d.Topo.Sectors[oldID]
+		newTower, ok := towerRemap[old.Tower]
+		if !ok {
+			oldTower := d.Topo.Towers[old.Tower]
+			newTower = len(topo.Towers)
+			towerRemap[old.Tower] = newTower
+			topo.Towers = append(topo.Towers, Tower{
+				ID: newTower, X: oldTower.X, Y: oldTower.Y,
+				City: oldTower.City, Class: oldTower.Class,
+			})
+		}
+		sec := old
+		sec.ID = remap[oldID]
+		sec.Tower = newTower
+		topo.Sectors = append(topo.Sectors, sec)
+		topo.Towers[newTower].Sectors = append(topo.Towers[newTower].Sectors, sec.ID)
+	}
+	truth := &Truth{HotDrive: tensor.NewMatrix(len(keep), d.Truth.HotDrive.Cols)}
+	for newID, oldID := range keep {
+		copy(truth.HotDrive.Row(newID), d.Truth.HotDrive.Row(oldID))
+	}
+	for _, ep := range d.Truth.Episodes {
+		if newID, ok := remap[ep.Sector]; ok {
+			ep.Sector = newID
+			truth.Episodes = append(truth.Episodes, ep)
+		}
+	}
+	return &Dataset{
+		Grid:   d.Grid,
+		Config: d.Config,
+		Topo:   topo,
+		K:      d.K.SelectSectors(keep),
+		Truth:  truth,
+	}
+}

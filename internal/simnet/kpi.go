@@ -1,0 +1,223 @@
+// Package simnet is the data substrate of the reproduction: a synthetic
+// cellular-network trace generator standing in for the paper's proprietary
+// operator data set (tens of thousands of 3G sectors, 21 hourly KPIs over 18
+// weeks).
+//
+// The generator is built so that every aggregate statistic the paper
+// publishes about the real data is a generative target: the KPI classes and
+// their dynamics (Fig. 1), the hot-spot score distribution with its natural
+// threshold near 0.6 (Fig. 4), the 16-hour hot day and weekly patterns
+// (Figs. 6-7, Table II), the spatial correlation structure (Fig. 8), and the
+// existence of emerging persistent hot spots preceded by usage/congestion
+// ramps that make the "become a hot spot" task learnable at moderate
+// horizons (Figs. 11-12, 16).
+package simnet
+
+// KPIClass groups indicators the way Sec. II-B of the paper does.
+type KPIClass int
+
+// KPI classes (Sec. II-B): coverage, accessibility, retainability, mobility,
+// availability and congestion.
+const (
+	Coverage KPIClass = iota
+	Accessibility
+	Retainability
+	Mobility
+	Availability
+	Congestion
+)
+
+// String returns the class name.
+func (c KPIClass) String() string {
+	switch c {
+	case Coverage:
+		return "coverage"
+	case Accessibility:
+		return "accessibility"
+	case Retainability:
+		return "retainability"
+	case Mobility:
+		return "mobility"
+	case Availability:
+		return "availability"
+	case Congestion:
+		return "congestion"
+	default:
+		return "unknown"
+	}
+}
+
+// Cause channels: every KPI responds to a mix of the latent drivers.
+// loadCoef couples it to user traffic, stressCoef to the slow congestion
+// ramps that precede emerging hot spots, faultCoef to hardware/interference
+// episodes, and hotCoef to the acute degradation during hot hours.
+type KPI struct {
+	// Name is a vendor-style indicator name.
+	Name string
+	// Class is the paper's KPI grouping.
+	Class KPIClass
+	// Weight is the operator weight Omega_k of Eq. 1 (normalised by the
+	// scoring code, so only ratios matter).
+	Weight float64
+	// Base is the healthy-operation level in natural units.
+	Base float64
+	// Bad is the fully degraded level in natural units.
+	Bad float64
+	// Threshold is epsilon_k of Eq. 1, in natural units. All KPIs are
+	// oriented so that larger values are worse, matching the paper's
+	// H(K - epsilon) formulation.
+	Threshold float64
+	// Noise is the standard deviation of the per-hour measurement noise in
+	// natural units.
+	Noise float64
+	// Min, Max clamp the emitted value to physically meaningful bounds.
+	Min, Max float64
+	// Driver couplings (see above), each in [0, 1.2].
+	LoadCoef, StressCoef, FaultCoef, HotCoef float64
+}
+
+// The 21-KPI catalogue. Indices are zero-based in code; the paper's
+// feature-importance discussion uses one-based indices, so catalogue slot
+// i here is the paper's k = i+1. The slots the paper names explicitly are
+// pinned to the same semantics:
+//
+//	k=6  noise rise (interference)            -> index 5
+//	k=8  data utilisation rate (congestion)   -> index 7
+//	k=9  HS queued users (usage)              -> index 8
+//	k=10 channel setup failure (signalling)   -> index 9
+//	k=12 absolute noise measurement           -> index 11
+//	k=14 transmission (TTI) occupancy (usage) -> index 13
+//
+// Fig. 1's examples are covered by k=1 (voice blocking, weekday regularity)
+// and k=19 (data throughput degradation, sporadic commercial peaks).
+var catalogue = []KPI{
+	{Name: "VoiceBlockingRate", Class: Accessibility, Weight: 1.2,
+		Base: 0.01, Bad: 0.25, Threshold: 0.12, Noise: 0.015, Min: 0, Max: 1,
+		LoadCoef: 0.45, StressCoef: 0.35, FaultCoef: 0.5, HotCoef: 1.0},
+	{Name: "PagingFailureRate", Class: Accessibility, Weight: 0.8,
+		Base: 0.02, Bad: 0.30, Threshold: 0.15, Noise: 0.02, Min: 0, Max: 1,
+		LoadCoef: 0.25, StressCoef: 0.2, FaultCoef: 0.6, HotCoef: 1.0},
+	{Name: "RRCSetupFailureRate", Class: Accessibility, Weight: 1.1,
+		Base: 0.015, Bad: 0.28, Threshold: 0.14, Noise: 0.018, Min: 0, Max: 1,
+		LoadCoef: 0.4, StressCoef: 0.4, FaultCoef: 0.45, HotCoef: 1.0},
+	{Name: "HSAllocationFailureRate", Class: Accessibility, Weight: 0.9,
+		Base: 0.03, Bad: 0.35, Threshold: 0.18, Noise: 0.025, Min: 0, Max: 1,
+		LoadCoef: 0.5, StressCoef: 0.55, FaultCoef: 0.25, HotCoef: 1.0},
+	{Name: "PilotPollutionRatio", Class: Coverage, Weight: 0.6,
+		Base: 0.05, Bad: 0.40, Threshold: 0.22, Noise: 0.03, Min: 0, Max: 1,
+		LoadCoef: 0.15, StressCoef: 0.1, FaultCoef: 0.7, HotCoef: 0.85},
+	{Name: "NoiseRiseDB", Class: Coverage, Weight: 0.9, // paper k=6
+		Base: 2.0, Bad: 14.0, Threshold: 8.0, Noise: 0.8, Min: 0, Max: 30,
+		LoadCoef: 0.35, StressCoef: 0.45, FaultCoef: 0.9, HotCoef: 0.9},
+	{Name: "TxPowerUtilization", Class: Coverage, Weight: 0.7,
+		Base: 0.30, Bad: 0.97, Threshold: 0.85, Noise: 0.04, Min: 0, Max: 1,
+		LoadCoef: 0.7, StressCoef: 0.5, FaultCoef: 0.2, HotCoef: 0.9},
+	{Name: "DataUtilizationRate", Class: Congestion, Weight: 1.3, // paper k=8
+		Base: 0.25, Bad: 0.98, Threshold: 0.80, Noise: 0.05, Min: 0, Max: 1,
+		LoadCoef: 0.9, StressCoef: 0.95, FaultCoef: 0.1, HotCoef: 1.0},
+	{Name: "HSQueuedUsers", Class: Congestion, Weight: 1.3, // paper k=9
+		Base: 0.5, Bad: 22.0, Threshold: 10.0, Noise: 1.0, Min: 0, Max: 80,
+		LoadCoef: 0.8, StressCoef: 1.0, FaultCoef: 0.1, HotCoef: 1.0},
+	{Name: "ChannelSetupFailureRate", Class: Accessibility, Weight: 1.0, // paper k=10
+		Base: 0.02, Bad: 0.30, Threshold: 0.16, Noise: 0.02, Min: 0, Max: 1,
+		LoadCoef: 0.35, StressCoef: 0.5, FaultCoef: 0.55, HotCoef: 1.0},
+	{Name: "CSCallDropRate", Class: Retainability, Weight: 1.1,
+		Base: 0.01, Bad: 0.20, Threshold: 0.10, Noise: 0.012, Min: 0, Max: 1,
+		LoadCoef: 0.3, StressCoef: 0.3, FaultCoef: 0.65, HotCoef: 1.0},
+	{Name: "NoiseFloorDBM", Class: Coverage, Weight: 0.7, // paper k=12
+		Base: -103.0, Bad: -82.0, Threshold: -92.0, Noise: 1.5, Min: -110, Max: -70,
+		LoadCoef: 0.2, StressCoef: 0.35, FaultCoef: 0.95, HotCoef: 0.8},
+	{Name: "PSDropRate", Class: Retainability, Weight: 1.0,
+		Base: 0.015, Bad: 0.25, Threshold: 0.13, Noise: 0.015, Min: 0, Max: 1,
+		LoadCoef: 0.4, StressCoef: 0.45, FaultCoef: 0.5, HotCoef: 1.0},
+	{Name: "TTIOccupancyRatio", Class: Availability, Weight: 1.2, // paper k=14
+		Base: 0.30, Bad: 0.99, Threshold: 0.82, Noise: 0.05, Min: 0, Max: 1,
+		LoadCoef: 0.85, StressCoef: 0.9, FaultCoef: 0.05, HotCoef: 1.0},
+	{Name: "HandoverFailureRate", Class: Mobility, Weight: 0.8,
+		Base: 0.02, Bad: 0.30, Threshold: 0.15, Noise: 0.02, Min: 0, Max: 1,
+		LoadCoef: 0.35, StressCoef: 0.25, FaultCoef: 0.55, HotCoef: 0.95},
+	{Name: "SoftHandoverOverhead", Class: Mobility, Weight: 0.5,
+		Base: 0.20, Bad: 0.60, Threshold: 0.42, Noise: 0.03, Min: 0, Max: 1,
+		LoadCoef: 0.3, StressCoef: 0.15, FaultCoef: 0.5, HotCoef: 0.8},
+	{Name: "CongestionRatio", Class: Congestion, Weight: 1.2,
+		Base: 0.02, Bad: 0.45, Threshold: 0.22, Noise: 0.03, Min: 0, Max: 1,
+		LoadCoef: 0.7, StressCoef: 0.85, FaultCoef: 0.15, HotCoef: 1.0},
+	{Name: "FreeChannelDeficit", Class: Availability, Weight: 0.9,
+		Base: 0.10, Bad: 0.85, Threshold: 0.55, Noise: 0.05, Min: 0, Max: 1,
+		LoadCoef: 0.65, StressCoef: 0.7, FaultCoef: 0.3, HotCoef: 0.95},
+	{Name: "ThroughputDegradationRatio", Class: Congestion, Weight: 1.0, // Fig. 1B
+		Base: 0.08, Bad: 0.75, Threshold: 0.45, Noise: 0.05, Min: 0, Max: 1,
+		LoadCoef: 0.8, StressCoef: 0.75, FaultCoef: 0.25, HotCoef: 1.0},
+	{Name: "CellUnavailabilityRatio", Class: Availability, Weight: 1.0,
+		Base: 0.005, Bad: 0.50, Threshold: 0.20, Noise: 0.015, Min: 0, Max: 1,
+		LoadCoef: 0.05, StressCoef: 0.1, FaultCoef: 1.0, HotCoef: 0.9},
+	{Name: "ActiveUserLoad", Class: Congestion, Weight: 0.7,
+		Base: 10.0, Bad: 95.0, Threshold: 60.0, Noise: 4.0, Min: 0, Max: 250,
+		LoadCoef: 1.0, StressCoef: 0.6, FaultCoef: 0.0, HotCoef: 0.9},
+}
+
+// NumKPIs is l, the number of indicators (21 in the paper).
+const NumKPIs = 21
+
+// Catalogue returns a copy of the 21-KPI catalogue.
+func Catalogue() []KPI {
+	out := make([]KPI, len(catalogue))
+	copy(out, catalogue)
+	return out
+}
+
+// Weights returns the operator weights Omega in catalogue order.
+func Weights() []float64 {
+	out := make([]float64, len(catalogue))
+	for i, k := range catalogue {
+		out[i] = k.Weight
+	}
+	return out
+}
+
+// Thresholds returns the per-KPI thresholds epsilon in catalogue order.
+func Thresholds() []float64 {
+	out := make([]float64, len(catalogue))
+	for i, k := range catalogue {
+		out[i] = k.Threshold
+	}
+	return out
+}
+
+// KPIName returns the catalogue name of zero-based KPI index k.
+func KPIName(k int) string { return catalogue[k].Name }
+
+// value maps the latent drivers onto the KPI's natural units. intensity
+// aggregates the couplings; the threshold sits at Base + thresholdFrac *
+// (Bad-Base) so an intensity near 1 reliably crosses it and an intensity
+// near the ramp level (~0.4) does not.
+func (k *KPI) value(load, stress, fault, hot, noise float64) float64 {
+	intensity := k.LoadCoef*loadExcess(load) + k.StressCoef*stress + k.FaultCoef*fault + k.HotCoef*hot
+	if intensity > 1.25 {
+		intensity = 1.25
+	}
+	v := k.Base + (k.Bad-k.Base)*intensity + noise*k.Noise
+	// A fraction of ordinary load also shows up even when healthy (diurnal
+	// breathing of utilisation KPIs, visible in Fig. 1).
+	v += (k.Bad - k.Base) * 0.18 * k.LoadCoef * load
+	if v < k.Min {
+		v = k.Min
+	}
+	if v > k.Max {
+		v = k.Max
+	}
+	return v
+}
+
+// thresholdFrac is the position of epsilon_k within [Base, Bad] implied by
+// the catalogue; exported for tests via ThresholdMargin.
+func (k *KPI) thresholdFrac() float64 { return (k.Threshold - k.Base) / (k.Bad - k.Base) }
+
+// loadExcess maps routine traffic onto degradation pressure: traffic below
+// 70% of capacity contributes nothing; above that it contributes linearly.
+func loadExcess(load float64) float64 {
+	if load <= 0.7 {
+		return 0
+	}
+	return (load - 0.7) / 0.3 * 0.35
+}

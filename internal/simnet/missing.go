@@ -1,0 +1,82 @@
+package simnet
+
+import (
+	"math"
+
+	"repro/internal/randx"
+	"repro/internal/tensor"
+	"repro/internal/timegrid"
+)
+
+// injectMissing replaces entries of K with NaN following the three
+// mechanisms the paper describes (Sec. II-C):
+//
+//  1. isolated points K[i,j,k] (probe glitches),
+//  2. whole indicator rows K[i,j,:] (collection-server congestion),
+//  3. time ranges K[i,j:j+t,:] (site offline / backbone congestion),
+//
+// plus a small set of "bad" sectors given >50% missing weeks so the
+// filtering rule of the paper has material to discard.
+func injectMissing(k *tensor.Tensor3, cfg Config, rng *randx.RNG) {
+	if cfg.MissingTarget <= 0 && cfg.BadSectorFrac <= 0 {
+		return
+	}
+	n, mh := k.N, k.T
+	nan := math.NaN()
+
+	// Split the target mass: 30% points, 30% rows, 40% ranges.
+	pointProb := cfg.MissingTarget * 0.30
+	rowProb := cfg.MissingTarget * 0.30
+	// Ranges: mean length ~8 hours; expected fraction = rate * meanLen.
+	const meanRange = 8.0
+	rangeRate := cfg.MissingTarget * 0.40 / meanRange
+
+	for i := 0; i < n; i++ {
+		srng := randx.DeriveIndexed(cfg.Seed, 0x7fb5d329, "missing", i)
+		for j := 0; j < mh; j++ {
+			if srng.Bool(rowProb) {
+				for f := 0; f < k.F; f++ {
+					k.Set(i, j, f, nan)
+				}
+				continue
+			}
+			if srng.Bool(rangeRate) {
+				span := 1 + int(srng.Exp(meanRange-1))
+				for s := 0; s < span && j+s < mh; s++ {
+					for f := 0; f < k.F; f++ {
+						k.Set(i, j+s, f, nan)
+					}
+				}
+				j += span - 1
+				continue
+			}
+			for f := 0; f < k.F; f++ {
+				if srng.Bool(pointProb) {
+					k.Set(i, j, f, nan)
+				}
+			}
+		}
+	}
+
+	// Bad sectors: choose a handful and wipe out most of one or more weeks.
+	bad := int(float64(n) * cfg.BadSectorFrac)
+	if bad == 0 {
+		return
+	}
+	chosen := rng.SampleWithoutReplacement(n, bad)
+	for _, i := range chosen {
+		weeks := 1 + rng.IntN(3)
+		for w := 0; w < weeks; w++ {
+			week := rng.IntN(k.T / timegrid.HoursPerWeek)
+			start := week * timegrid.HoursPerWeek
+			// Wipe ~70% of the week's hours entirely.
+			for j := start; j < start+timegrid.HoursPerWeek; j++ {
+				if rng.Bool(0.7) {
+					for f := 0; f < k.F; f++ {
+						k.Set(i, j, f, nan)
+					}
+				}
+			}
+		}
+	}
+}

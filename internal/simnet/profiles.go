@@ -1,0 +1,354 @@
+package simnet
+
+import (
+	"repro/internal/randx"
+	"repro/internal/timegrid"
+)
+
+// Profile is the latent behavioural class of a sector. Profiles are the
+// generator's ground truth; the scoring and forecasting code never sees
+// them, but tests and analyses can.
+type Profile int
+
+// Behaviour profiles.
+const (
+	// NeverHot sectors stay healthy for the whole window (the dominant,
+	// confidential "rank 1" pattern of Table II).
+	NeverHot Profile = iota
+	// WeeklyPattern sectors are hot on a recurring weekly day pattern drawn
+	// from the paper's Table II distribution.
+	WeeklyPattern
+	// Sporadic sectors have isolated single hot days at random.
+	Sporadic
+	// Persistent sectors are hot essentially every day (the 18-week tail of
+	// Fig. 6C).
+	Persistent
+	// Emerging sectors alternate long healthy phases with hot episodes.
+	// Most episodes are preceded by a multi-day usage/congestion ramp; these
+	// are the paper's "become a hot spot" targets.
+	Emerging
+	numProfiles
+)
+
+// String returns the profile name.
+func (p Profile) String() string {
+	switch p {
+	case NeverHot:
+		return "never-hot"
+	case WeeklyPattern:
+		return "weekly-pattern"
+	case Sporadic:
+		return "sporadic"
+	case Persistent:
+		return "persistent"
+	case Emerging:
+		return "emerging"
+	default:
+		return "unknown"
+	}
+}
+
+// tableIIPattern is one row of the paper's Table II: a 7-bit day mask (bit 0
+// = Monday) and its published relative count among hot-capable sectors.
+type tableIIPattern struct {
+	mask  uint8
+	count float64
+}
+
+// bit returns a mask with the given days (0=Mon ... 6=Sun) set.
+func bit(days ...int) uint8 {
+	var m uint8
+	for _, d := range days {
+		m |= 1 << uint(d)
+	}
+	return m
+}
+
+// tableII reproduces the published top-20 weekly hot patterns (rank 2-20;
+// rank 1 is "never hot", drawn separately). Counts are the paper's
+// percentages; the residual mass is spread over random other patterns.
+var tableII = []tableIIPattern{
+	{bit(0, 1, 2, 3, 4, 5, 6), 14.4}, // M T W T F S S
+	{bit(0, 1, 2, 3, 4), 8.5},        // M T W T F
+	{bit(0, 1, 2, 3, 4, 5), 7.2},     // M T W T F S
+	{bit(4), 5.4},                    // F
+	{bit(5), 4.7},                    // S
+	{bit(0), 4.1},                    // M
+	{bit(1), 4.1},                    // T
+	{bit(3), 3.9},                    // T(hu)
+	{bit(6), 3.5},                    // Su
+	{bit(2), 3.2},                    // W
+	{bit(1, 2, 3, 4), 2.4},           // T W T F
+	{bit(0, 1, 2, 3), 2.3},           // M T W T
+	{bit(3, 4), 1.7},                 // T F
+	{bit(0, 1), 1.6},                 // M T
+	{bit(4, 5), 1.5},                 // F S
+	{bit(0, 1, 2), 1.4},              // M T W
+	{bit(2, 3, 4), 1.4},              // W T F
+	{bit(2, 3), 1.3},                 // W T
+	{bit(5, 6), 1.3},                 // S S
+}
+
+// residualPatternMass is the probability mass left for the 107 other
+// possible patterns (100 - sum of the published top-19 non-empty counts).
+const residualPatternMass = 26.1
+
+// drawWeeklyPattern samples a base weekly pattern following Table II, with
+// the residual mass on uniformly random non-empty patterns.
+func drawWeeklyPattern(rng *randx.RNG) uint8 {
+	total := residualPatternMass
+	for _, p := range tableII {
+		total += p.count
+	}
+	x := rng.Uniform(0, total)
+	for _, p := range tableII {
+		if x < p.count {
+			return p.mask
+		}
+		x -= p.count
+	}
+	// Residual: any non-empty 7-bit pattern not in the table, mildly biased
+	// toward few days (sporadic-ish combinations dominate reality's tail).
+	for {
+		mask := uint8(rng.IntInclusive(1, 127))
+		days := popcount(mask)
+		if rng.Float64() < 1.0/float64(days) {
+			return mask
+		}
+	}
+}
+
+func popcount(m uint8) int {
+	n := 0
+	for m != 0 {
+		n += int(m & 1)
+		m >>= 1
+	}
+	return n
+}
+
+// patternClassBias tilts pattern selection by land use so that far-apart
+// sectors of the same class behave alike (the mechanism behind Fig. 8B/C):
+// business areas favour workday patterns, commercial areas favour patterns
+// including Saturday, residential areas favour weekends.
+func patternClassBias(class LandUse, mask uint8, rng *randx.RNG) uint8 {
+	const satBit, sunBit = 1 << 5, 1 << 6
+	switch class {
+	case Business, Industrial:
+		// Strip weekend days with high probability.
+		if mask&satBit != 0 && rng.Bool(0.7) {
+			mask &^= satBit
+		}
+		if mask&sunBit != 0 && rng.Bool(0.8) {
+			mask &^= sunBit
+		}
+	case Commercial:
+		// Saturdays are shopping days.
+		if rng.Bool(0.5) {
+			mask |= satBit
+		}
+	case Residential:
+		if mask == 0 || rng.Bool(0.3) {
+			mask |= sunBit
+		}
+	}
+	if mask == 0 {
+		mask = satBit
+	}
+	return mask
+}
+
+// Episode is one emerging-hot-spot episode: an optional precursor ramp, a
+// hot phase, and bookkeeping about whether the episode aborted before
+// turning hot (a "near miss") or started suddenly (no ramp, unpredictable).
+type Episode struct {
+	Sector    int
+	RampStart int // day index; == HotStart for sudden episodes
+	HotStart  int // first hot day; for aborted episodes, when it would have been
+	HotEnd    int // exclusive
+	Aborted   bool
+	Sudden    bool
+}
+
+// hotHoursStart/End delimit the default 16-hour hot window inside a hot day
+// (07:00-22:59), matching the paper's empirical 16-hour threshold and its
+// 8-hour sleeping-pattern complement (Fig. 6A).
+const (
+	hotHoursStart = 7
+	hotHoursEnd   = 23
+)
+
+// schedule is a per-sector plan of hot days and night extensions produced by
+// the profile machinery before any KPI is emitted.
+type schedule struct {
+	hotDay   []bool      // per day: the sector is driven hot
+	hotNight []bool      // per day: the night following a hot day stays hot
+	stress   []float64   // per day: 0..1 precursor stress level (emerging ramps)
+	cause    []causeKind // per day: dominant degradation cause
+}
+
+type causeKind uint8
+
+const (
+	causeNone causeKind = iota
+	causeCongestion
+	causeHardware
+	causeInterference
+)
+
+// buildSchedule plans hotness for one sector across the whole grid.
+// Randomness comes from the sector's own sub-stream so schedules are
+// independent of generation order.
+func buildSchedule(sec *Sector, g *timegrid.Grid, rng *randx.RNG, cfg Config) (schedule, []Episode) {
+	days := g.Days()
+	s := schedule{
+		hotDay:   make([]bool, days),
+		hotNight: make([]bool, days),
+		stress:   make([]float64, days),
+		cause:    make([]causeKind, days),
+	}
+	var episodes []Episode
+	switch sec.Profile {
+	case NeverHot:
+		// Nothing to plan.
+	case WeeklyPattern:
+		planWeekly(sec, &s, days, rng)
+	case Sporadic:
+		planSporadic(&s, days, rng)
+	case Persistent:
+		planPersistent(&s, days, rng)
+	case Emerging:
+		episodes = planEmerging(sec.ID, &s, days, rng, cfg)
+	}
+	return s, episodes
+}
+
+func planWeekly(sec *Sector, s *schedule, days int, rng *randx.RNG) {
+	mask := sec.Pattern
+	sixDay := popcount(mask) == 6 && mask&(1<<6) == 0 // Mon-Sat style
+	for w := 0; w*7 < days; w++ {
+		weekMask := mask
+		// Weekly jitter: flip roughly one day every few weeks, producing the
+		// ~0.6 average week-to-week consistency the paper reports.
+		if rng.Bool(0.35) {
+			weekMask ^= 1 << uint(rng.IntN(7))
+		}
+		// Mon-Sat sectors occasionally stay busy on Sunday, creating the
+		// 7x+6 consecutive-day signature of Fig. 7B.
+		if sixDay && rng.Bool(0.25) {
+			weekMask |= 1 << 6
+		}
+		for d := 0; d < 7; d++ {
+			day := w*7 + d
+			if day >= days {
+				break
+			}
+			if weekMask&(1<<uint(d)) != 0 {
+				s.hotDay[day] = true
+				s.cause[day] = causeCongestion
+			}
+		}
+	}
+	markNights(s, days, 0.12, rng)
+}
+
+func planSporadic(s *schedule, days int, rng *randx.RNG) {
+	// Roughly one isolated hot day per month, hardware-ish causes.
+	for day := 0; day < days; day++ {
+		if rng.Bool(1.0 / 30.0) {
+			s.hotDay[day] = true
+			if rng.Bool(0.5) {
+				s.cause[day] = causeHardware
+			} else {
+				s.cause[day] = causeInterference
+			}
+			// Occasionally a two-day outage.
+			if rng.Bool(0.25) && day+1 < days {
+				s.hotDay[day+1] = true
+				s.cause[day+1] = s.cause[day]
+			}
+		}
+	}
+	markNights(s, days, 0.3, rng)
+}
+
+func planPersistent(s *schedule, days int, rng *randx.RNG) {
+	for day := 0; day < days; day++ {
+		// A rare cool day keeps them from being perfectly deterministic.
+		if rng.Bool(0.96) {
+			s.hotDay[day] = true
+			s.cause[day] = causeCongestion
+		}
+	}
+	markNights(s, days, 0.35, rng)
+}
+
+// planEmerging alternates healthy phases and hot episodes. Episode anatomy:
+//
+//	ramp (rampDays, stress 0 -> ~0.85)  ->  hot phase (hotDays)  ->  cooldown
+//
+// A fraction of episodes abort at the end of the ramp (stress recedes, the
+// sector never turns hot): these near misses bound the achievable precision
+// of any forecaster, as in the real data. Another fraction is sudden: no
+// ramp at all, which bounds recall.
+func planEmerging(sectorID int, s *schedule, days int, rng *randx.RNG, cfg Config) []Episode {
+	var episodes []Episode
+	day := rng.IntInclusive(3, 30) // first onset staggered across sectors
+	for day < days {
+		rampDays := rng.IntInclusive(cfg.EmergingRampMin, cfg.EmergingRampMax)
+		sudden := rng.Bool(cfg.EmergingSuddenProb)
+		aborted := !sudden && rng.Bool(cfg.EmergingAbortProb)
+		// Hot durations concentrate near whole weeks (7/10/14/21 days),
+		// reproducing Fig. 7B's peaks at multiples of 7.
+		hotDays := []int{7, 10, 14, 21}[rng.Choice([]float64{0.4, 0.2, 0.3, 0.1})]
+		ep := Episode{Sector: sectorID, Sudden: sudden, Aborted: aborted}
+		if sudden {
+			rampDays = 0
+		}
+		ep.RampStart = day
+		ep.HotStart = day + rampDays
+		ep.HotEnd = ep.HotStart + hotDays
+		// Lay down the ramp (stress rises linearly to ~0.85).
+		for r := 0; r < rampDays; r++ {
+			d := day + r
+			if d >= days {
+				break
+			}
+			frac := float64(r+1) / float64(rampDays)
+			s.stress[d] = 0.85 * frac
+		}
+		if aborted {
+			// Stress recedes over a few days; no hot phase.
+			for r := 0; r < 4; r++ {
+				d := ep.HotStart + r
+				if d >= days {
+					break
+				}
+				s.stress[d] = 0.85 * (1 - float64(r+1)/4)
+			}
+			episodes = append(episodes, ep)
+			day = ep.HotStart + 4 + rng.IntInclusive(cfg.EmergingCooldownMin, cfg.EmergingCooldownMax)
+			continue
+		}
+		for d := ep.HotStart; d < ep.HotEnd && d < days; d++ {
+			s.hotDay[d] = true
+			s.cause[d] = causeCongestion
+			s.stress[d] = 0.85
+		}
+		episodes = append(episodes, ep)
+		day = ep.HotEnd + rng.IntInclusive(cfg.EmergingCooldownMin, cfg.EmergingCooldownMax)
+	}
+	markNights(s, days, 0.3, rng)
+	return episodes
+}
+
+// markNights decides, for every pair of consecutive hot days, whether the
+// night in between stays hot too. This produces the 40- and 64-hour
+// consecutive-run peaks of Fig. 7A (16 + 24k hours).
+func markNights(s *schedule, days int, p float64, rng *randx.RNG) {
+	for d := 0; d+1 < days; d++ {
+		if s.hotDay[d] && s.hotDay[d+1] && rng.Bool(p) {
+			s.hotNight[d] = true
+		}
+	}
+}

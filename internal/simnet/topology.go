@@ -1,0 +1,151 @@
+package simnet
+
+import (
+	"math"
+
+	"repro/internal/randx"
+)
+
+// LandUse classifies the area a sector serves. The paper's spatial analysis
+// (Sec. III) observes that similar hot-spot behaviour follows land use
+// rather than physical proximity; the generator makes land use the carrier
+// of behavioural similarity so Fig. 8's structure emerges.
+type LandUse int
+
+// Land-use classes.
+const (
+	Residential LandUse = iota
+	Commercial
+	Business
+	Industrial
+	Transport
+	Rural
+	numLandUses
+)
+
+// String returns the land-use name.
+func (l LandUse) String() string {
+	switch l {
+	case Residential:
+		return "residential"
+	case Commercial:
+		return "commercial"
+	case Business:
+		return "business"
+	case Industrial:
+		return "industrial"
+	case Transport:
+		return "transport"
+	case Rural:
+		return "rural"
+	default:
+		return "unknown"
+	}
+}
+
+// Tower is a physical site hosting one or more sectors at the same
+// coordinates. Same-tower sectors share equipment, so tower-level failures
+// make them the most correlated pairs in the network (Fig. 8A at distance
+// zero).
+type Tower struct {
+	ID      int
+	X, Y    float64 // kilometres in a planar country frame
+	City    int     // -1 for rural towers
+	Class   LandUse
+	Sectors []int // sector IDs hosted on this tower
+}
+
+// Sector is one cell sector: the unit of measurement, scoring and
+// forecasting in the paper.
+type Sector struct {
+	ID      int
+	Tower   int
+	X, Y    float64
+	City    int
+	Class   LandUse
+	Profile Profile
+	// Pattern is the 7-bit base weekly hot pattern (bit 0 = Monday) for
+	// WeeklyPattern sectors; zero otherwise.
+	Pattern uint8
+	// Busyness scales the sector's traffic level relative to its class
+	// profile (around 1.0).
+	Busyness float64
+}
+
+// Topology is the physical layout of the synthetic network.
+type Topology struct {
+	Towers  []Tower
+	Sectors []Sector
+	// CityX, CityY are city-centre coordinates (km).
+	CityX, CityY []float64
+}
+
+// topologyConfig controls layout generation.
+type topologyConfig struct {
+	sectors       int
+	cities        int
+	countrySpanKM float64
+	citySpreadKM  float64
+	ruralFraction float64
+}
+
+// buildTopology scatters cities over a countrySpanKM square, fills them with
+// towers of 1-3 sectors, and adds a rural fraction of isolated towers.
+// It returns at least cfg.sectors sectors (the last tower may overshoot by
+// up to two sectors, which keeps tower composition unbiased).
+func buildTopology(cfg topologyConfig, rng *randx.RNG) *Topology {
+	topo := &Topology{}
+	for c := 0; c < cfg.cities; c++ {
+		topo.CityX = append(topo.CityX, rng.Uniform(0, cfg.countrySpanKM))
+		topo.CityY = append(topo.CityY, rng.Uniform(0, cfg.countrySpanKM))
+	}
+	// City weights: a few large cities dominate, like real countries.
+	cityWeight := make([]float64, cfg.cities)
+	for c := range cityWeight {
+		cityWeight[c] = math.Pow(float64(c+1), -0.8)
+	}
+	classWeightsCity := []float64{0.40, 0.18, 0.16, 0.10, 0.08, 0.08} // by LandUse order
+	classWeightsRural := []float64{0.25, 0.05, 0.02, 0.13, 0.15, 0.40}
+
+	for len(topo.Sectors) < cfg.sectors {
+		t := Tower{ID: len(topo.Towers)}
+		if rng.Bool(cfg.ruralFraction) {
+			t.City = -1
+			t.X = rng.Uniform(0, cfg.countrySpanKM)
+			t.Y = rng.Uniform(0, cfg.countrySpanKM)
+			t.Class = LandUse(rng.Choice(classWeightsRural))
+		} else {
+			c := rng.Choice(cityWeight)
+			t.City = c
+			// Heavier tails than Gaussian: suburbs exist.
+			r := rng.Exp(cfg.citySpreadKM)
+			theta := rng.Uniform(0, 2*math.Pi)
+			t.X = topo.CityX[c] + r*math.Cos(theta)
+			t.Y = topo.CityY[c] + r*math.Sin(theta)
+			t.Class = LandUse(rng.Choice(classWeightsCity))
+		}
+		nSec := 1 + rng.IntN(3) // 1-3 sectors per tower
+		for s := 0; s < nSec; s++ {
+			id := len(topo.Sectors)
+			topo.Sectors = append(topo.Sectors, Sector{
+				ID:       id,
+				Tower:    t.ID,
+				X:        t.X,
+				Y:        t.Y,
+				City:     t.City,
+				Class:    t.Class,
+				Busyness: rng.Uniform(0.75, 1.25),
+			})
+			t.Sectors = append(t.Sectors, id)
+		}
+		topo.Towers = append(topo.Towers, t)
+	}
+	return topo
+}
+
+// Distance returns the planar distance in km between sectors a and b.
+func (t *Topology) Distance(a, b int) float64 {
+	dx := t.Sectors[a].X - t.Sectors[b].X
+	dy := t.Sectors[a].Y - t.Sectors[b].Y
+	return math.Hypot(dx, dy)
+}

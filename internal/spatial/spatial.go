@@ -1,0 +1,358 @@
+// Package spatial implements the Sec. III spatial analysis: a uniform-grid
+// nearest-neighbour index over sector coordinates, and the
+// correlation-versus-distance bucketing behind Fig. 8 (per-sector average,
+// per-sector maximum, and best-of-top-100 correlations across
+// logarithmically spaced distance buckets).
+package spatial
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/mathx"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Point is a sector location in a planar kilometre frame.
+type Point struct{ X, Y float64 }
+
+// Haversine returns the great-circle distance in km between two lat/lon
+// points in degrees. The synthetic network uses planar coordinates, but the
+// index accepts either; Haversine is provided for consumers with real
+// geodetic data.
+func Haversine(lat1, lon1, lat2, lon2 float64) float64 {
+	const earthRadiusKM = 6371.0
+	rad := math.Pi / 180
+	dLat := (lat2 - lat1) * rad
+	dLon := (lon2 - lon1) * rad
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1*rad)*math.Cos(lat2*rad)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKM * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// Index is a uniform-grid spatial index supporting k-nearest-neighbour
+// queries over a fixed point set.
+type Index struct {
+	pts      []Point
+	cellSize float64
+	minX     float64
+	minY     float64
+	cols     int
+	rows     int
+	cells    [][]int32
+}
+
+// NewIndex builds an index over pts. cellSize should be on the order of the
+// typical nearest-neighbour spacing; 1-5 km works well for country-scale
+// networks.
+func NewIndex(pts []Point, cellSize float64) *Index {
+	if cellSize <= 0 {
+		panic("spatial: non-positive cell size")
+	}
+	idx := &Index{pts: pts, cellSize: cellSize}
+	if len(pts) == 0 {
+		idx.cols, idx.rows = 1, 1
+		idx.cells = make([][]int32, 1)
+		return idx
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	idx.minX, idx.minY = minX, minY
+	idx.cols = int((maxX-minX)/cellSize) + 1
+	idx.rows = int((maxY-minY)/cellSize) + 1
+	idx.cells = make([][]int32, idx.cols*idx.rows)
+	for i, p := range pts {
+		c := idx.cellOf(p)
+		idx.cells[c] = append(idx.cells[c], int32(i))
+	}
+	return idx
+}
+
+func (idx *Index) cellOf(p Point) int {
+	cx := int((p.X - idx.minX) / idx.cellSize)
+	cy := int((p.Y - idx.minY) / idx.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= idx.cols {
+		cx = idx.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= idx.rows {
+		cy = idx.rows - 1
+	}
+	return cy*idx.cols + cx
+}
+
+// Neighbor is a query result: a point index and its distance from the query
+// point.
+type Neighbor struct {
+	Index    int
+	Distance float64
+}
+
+// KNearest returns the k nearest points to pts[query], excluding the query
+// point itself, sorted by ascending distance (ties broken by index). It
+// expands rings of grid cells until enough candidates are guaranteed.
+func (idx *Index) KNearest(query, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	qp := idx.pts[query]
+	qx := int((qp.X - idx.minX) / idx.cellSize)
+	qy := int((qp.Y - idx.minY) / idx.cellSize)
+	var cand []Neighbor
+	// Expand rings until we have k candidates AND the next ring cannot
+	// contain anything closer than the current k-th distance.
+	for ring := 0; ; ring++ {
+		added := idx.collectRing(qx, qy, ring, query, qp, &cand)
+		_ = added
+		if len(cand) >= k {
+			sort.Slice(cand, func(a, b int) bool {
+				if cand[a].Distance != cand[b].Distance {
+					return cand[a].Distance < cand[b].Distance
+				}
+				return cand[a].Index < cand[b].Index
+			})
+			kth := cand[min(k, len(cand))-1].Distance
+			// Any point in ring r+1 is at least r*cellSize away.
+			if float64(ring)*idx.cellSize >= kth {
+				break
+			}
+		}
+		if ring > idx.cols+idx.rows { // exhausted the grid
+			sort.Slice(cand, func(a, b int) bool {
+				if cand[a].Distance != cand[b].Distance {
+					return cand[a].Distance < cand[b].Distance
+				}
+				return cand[a].Index < cand[b].Index
+			})
+			break
+		}
+	}
+	if len(cand) > k {
+		cand = cand[:k]
+	}
+	return cand
+}
+
+func (idx *Index) collectRing(qx, qy, ring, query int, qp Point, cand *[]Neighbor) int {
+	added := 0
+	visit := func(cx, cy int) {
+		if cx < 0 || cx >= idx.cols || cy < 0 || cy >= idx.rows {
+			return
+		}
+		for _, pi := range idx.cells[cy*idx.cols+cx] {
+			if int(pi) == query {
+				continue
+			}
+			p := idx.pts[pi]
+			d := math.Hypot(p.X-qp.X, p.Y-qp.Y)
+			*cand = append(*cand, Neighbor{Index: int(pi), Distance: d})
+			added++
+		}
+	}
+	if ring == 0 {
+		visit(qx, qy)
+		return added
+	}
+	for cx := qx - ring; cx <= qx+ring; cx++ {
+		visit(cx, qy-ring)
+		visit(cx, qy+ring)
+	}
+	for cy := qy - ring + 1; cy <= qy+ring-1; cy++ {
+		visit(qx-ring, cy)
+		visit(qx+ring, cy)
+	}
+	return added
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BucketSummary is one distance bucket of Fig. 8: its lower edge in km and
+// the distribution of per-sector statistics that fall into it.
+type BucketSummary struct {
+	EdgeKM float64
+	Stats  stats.BoxStats
+}
+
+// CorrelationConfig parameterises the Fig. 8 analysis.
+type CorrelationConfig struct {
+	// NeighborsPerSector is the paper's 500 spatially-closest query size.
+	NeighborsPerSector int
+	// TopCorrelated is the paper's 100 most-correlated query size for the
+	// "best possibility" panel (Fig. 8C).
+	TopCorrelated int
+	// BucketEdges are ascending distance bucket lower edges in km; bucket 0
+	// should be the degenerate same-tower bucket [0, edges[1]).
+	BucketEdges []float64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultCorrelationConfig mirrors the paper: 500 neighbours, top-100
+// correlated, and log-spaced buckets 0, 0.1, 0.2, ..., 204.8 km.
+func DefaultCorrelationConfig() CorrelationConfig {
+	return CorrelationConfig{
+		NeighborsPerSector: 500,
+		TopCorrelated:      100,
+		BucketEdges:        mathx.LogBuckets(0.1, 13),
+	}
+}
+
+// CorrelationResult holds the three panels of Fig. 8.
+type CorrelationResult struct {
+	// Average is the distribution of per-sector average correlation per
+	// distance bucket (Fig. 8A).
+	Average []BucketSummary
+	// Maximum is the distribution of per-sector maximum correlation per
+	// bucket among the spatial neighbours (Fig. 8B).
+	Maximum []BucketSummary
+	// Best is the distribution of per-sector maximum correlation per bucket
+	// among each sector's globally most-correlated TopCorrelated sectors
+	// (Fig. 8C).
+	Best []BucketSummary
+}
+
+// CorrelationByDistance reproduces Fig. 8. y is a label matrix whose rows
+// are per-sector hourly hot-spot time series (the paper uses Yh); pts gives
+// sector coordinates in km.
+func CorrelationByDistance(y *tensor.Matrix, pts []Point, cfg CorrelationConfig) *CorrelationResult {
+	n := y.Rows
+	if len(pts) != n {
+		panic("spatial: points/labels mismatch")
+	}
+	if cfg.NeighborsPerSector >= n {
+		cfg.NeighborsPerSector = n - 1
+	}
+	if cfg.TopCorrelated >= n {
+		cfg.TopCorrelated = n - 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	idx := NewIndex(pts, 3.0)
+	nb := len(cfg.BucketEdges)
+
+	// Per-sector, per-bucket accumulators.
+	avg := tensor.NewMatrixFilled(n, nb, math.NaN())
+	maxSpatial := tensor.NewMatrixFilled(n, nb, math.NaN())
+	best := tensor.NewMatrixFilled(n, nb, math.NaN())
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sums := make([]float64, nb)
+			counts := make([]int, nb)
+			maxs := make([]float64, nb)
+			for i := range work {
+				// Panel A/B: spatial neighbours.
+				for b := range sums {
+					sums[b], counts[b] = 0, 0
+					maxs[b] = math.Inf(-1)
+				}
+				for _, nbr := range idx.KNearest(i, cfg.NeighborsPerSector) {
+					r := mathx.Pearson(y.Row(i), y.Row(nbr.Index))
+					if math.IsNaN(r) {
+						continue
+					}
+					b := mathx.BucketIndex(cfg.BucketEdges, nbr.Distance)
+					sums[b] += r
+					counts[b]++
+					if r > maxs[b] {
+						maxs[b] = r
+					}
+				}
+				for b := 0; b < nb; b++ {
+					if counts[b] > 0 {
+						avg.Set(i, b, sums[b]/float64(counts[b]))
+						maxSpatial.Set(i, b, maxs[b])
+					}
+				}
+				// Panel C: globally most correlated, any distance.
+				top := topCorrelated(y, i, cfg.TopCorrelated)
+				for b := range maxs {
+					maxs[b] = math.Inf(-1)
+					counts[b] = 0
+				}
+				for _, tc := range top {
+					d := math.Hypot(pts[i].X-pts[tc.Index].X, pts[i].Y-pts[tc.Index].Y)
+					b := mathx.BucketIndex(cfg.BucketEdges, d)
+					counts[b]++
+					if tc.Corr > maxs[b] {
+						maxs[b] = tc.Corr
+					}
+				}
+				for b := 0; b < nb; b++ {
+					if counts[b] > 0 {
+						best.Set(i, b, maxs[b])
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	res := &CorrelationResult{}
+	for b := 0; b < nb; b++ {
+		res.Average = append(res.Average, BucketSummary{EdgeKM: cfg.BucketEdges[b], Stats: stats.Box(avg.Col(b))})
+		res.Maximum = append(res.Maximum, BucketSummary{EdgeKM: cfg.BucketEdges[b], Stats: stats.Box(maxSpatial.Col(b))})
+		res.Best = append(res.Best, BucketSummary{EdgeKM: cfg.BucketEdges[b], Stats: stats.Box(best.Col(b))})
+	}
+	return res
+}
+
+type corrPair struct {
+	Index int
+	Corr  float64
+}
+
+// topCorrelated returns the k sectors most correlated with sector i
+// (excluding i), scanning all rows. O(n * T) per query.
+func topCorrelated(y *tensor.Matrix, i, k int) []corrPair {
+	out := make([]corrPair, 0, y.Rows-1)
+	for j := 0; j < y.Rows; j++ {
+		if j == i {
+			continue
+		}
+		r := mathx.Pearson(y.Row(i), y.Row(j))
+		if math.IsNaN(r) {
+			continue
+		}
+		out = append(out, corrPair{Index: j, Corr: r})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Corr != out[b].Corr {
+			return out[a].Corr > out[b].Corr
+		}
+		return out[a].Index < out[b].Index
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

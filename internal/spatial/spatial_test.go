@@ -1,0 +1,239 @@
+package spatial
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+	"repro/internal/randx"
+	"repro/internal/tensor"
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	// Same point.
+	if d := Haversine(41.39, 2.17, 41.39, 2.17); d != 0 {
+		t.Fatalf("same-point distance = %v", d)
+	}
+	// Barcelona to Madrid is ~505 km.
+	d := Haversine(41.3851, 2.1734, 40.4168, -3.7038)
+	if d < 480 || d < 0 || d > 530 {
+		t.Fatalf("BCN-MAD = %v km, want ~505", d)
+	}
+	// One degree of latitude is ~111 km.
+	d = Haversine(0, 0, 1, 0)
+	if math.Abs(d-111.2) > 1 {
+		t.Fatalf("1 degree lat = %v km", d)
+	}
+}
+
+func TestKNearestBruteForceAgreement(t *testing.T) {
+	rng := randx.New(3, 4)
+	pts := make([]Point, 200)
+	for i := range pts {
+		pts[i] = Point{X: rng.Uniform(0, 100), Y: rng.Uniform(0, 100)}
+	}
+	idx := NewIndex(pts, 5)
+	for _, q := range []int{0, 17, 199} {
+		got := idx.KNearest(q, 10)
+		want := bruteKNN(pts, q, 10)
+		if len(got) != len(want) {
+			t.Fatalf("q=%d: got %d results, want %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Index != want[i].Index {
+				t.Fatalf("q=%d pos=%d: got idx %d (d=%v), want %d (d=%v)",
+					q, i, got[i].Index, got[i].Distance, want[i].Index, want[i].Distance)
+			}
+		}
+	}
+}
+
+func bruteKNN(pts []Point, q, k int) []Neighbor {
+	var all []Neighbor
+	for i, p := range pts {
+		if i == q {
+			continue
+		}
+		all = append(all, Neighbor{Index: i, Distance: math.Hypot(p.X-pts[q].X, p.Y-pts[q].Y)})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Distance != all[b].Distance {
+			return all[a].Distance < all[b].Distance
+		}
+		return all[a].Index < all[b].Index
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Property: KNearest always matches brute force on small random instances.
+func TestKNearestProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		k := int(kRaw)%n + 1
+		rng := randx.New(seed, 11)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Uniform(0, 20), Y: rng.Uniform(0, 20)}
+		}
+		idx := NewIndex(pts, 2)
+		got := idx.KNearest(0, k)
+		want := bruteKNN(pts, 0, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].Index != want[i].Index {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKNearestSameLocation(t *testing.T) {
+	// Co-located points (same tower) must be returned at distance 0.
+	pts := []Point{{0, 0}, {0, 0}, {0, 0}, {10, 10}}
+	idx := NewIndex(pts, 3)
+	got := idx.KNearest(0, 2)
+	if len(got) != 2 || got[0].Distance != 0 || got[1].Distance != 0 {
+		t.Fatalf("co-located neighbours = %+v", got)
+	}
+}
+
+func TestKNearestKLargerThanN(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {2, 0}}
+	idx := NewIndex(pts, 1)
+	got := idx.KNearest(0, 10)
+	if len(got) != 2 {
+		t.Fatalf("got %d neighbours, want 2", len(got))
+	}
+}
+
+func TestKNearestZeroK(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}}
+	idx := NewIndex(pts, 1)
+	if got := idx.KNearest(0, 0); got != nil {
+		t.Fatalf("k=0 should return nil, got %v", got)
+	}
+}
+
+func TestNewIndexEmpty(t *testing.T) {
+	idx := NewIndex(nil, 1)
+	if idx == nil {
+		t.Fatal("nil index")
+	}
+}
+
+func TestNewIndexPanicsOnBadCell(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIndex([]Point{{0, 0}}, 0)
+}
+
+func TestTopCorrelated(t *testing.T) {
+	y := tensor.NewMatrix(4, 8)
+	base := []float64{1, 0, 1, 0, 1, 0, 1, 0}
+	for j, v := range base {
+		y.Set(0, j, v)
+		y.Set(1, j, v)            // identical: corr 1
+		y.Set(2, j, 1-v)          // inverted: corr -1
+		y.Set(3, j, float64(j%3)) // something else
+	}
+	top := topCorrelated(y, 0, 2)
+	if len(top) != 2 || top[0].Index != 1 {
+		t.Fatalf("top correlated = %+v", top)
+	}
+	if math.Abs(top[0].Corr-1) > 1e-9 {
+		t.Fatalf("best corr = %v, want 1", top[0].Corr)
+	}
+}
+
+func TestCorrelationByDistanceStructure(t *testing.T) {
+	// Build a tiny scenario with strong structure:
+	//  - sectors 0,1 co-located, identical series (distance-0 corr 1),
+	//  - sector 2 nearby with noise,
+	//  - sectors 3,4 far away; 4 has the same series as 0 (far twin).
+	rng := randx.New(5, 5)
+	T := 300
+	mk := func(phase int) []float64 {
+		s := make([]float64, T)
+		for j := range s {
+			if (j/24+phase)%3 == 0 {
+				s[j] = 1
+			}
+		}
+		return s
+	}
+	y := tensor.NewMatrix(5, T)
+	copy(y.Row(0), mk(0))
+	copy(y.Row(1), mk(0))
+	noisy := mk(0)
+	for j := range noisy {
+		if rng.Bool(0.3) {
+			noisy[j] = 1 - noisy[j]
+		}
+	}
+	copy(y.Row(2), noisy)
+	copy(y.Row(3), mk(1))
+	copy(y.Row(4), mk(0))
+	pts := []Point{{0, 0}, {0, 0}, {0.5, 0}, {120, 0}, {150, 0}}
+
+	cfg := CorrelationConfig{
+		NeighborsPerSector: 4,
+		TopCorrelated:      2,
+		BucketEdges:        mathx.LogBuckets(0.1, 13),
+	}
+	res := CorrelationByDistance(y, pts, cfg)
+	if len(res.Average) != 13 || len(res.Maximum) != 13 || len(res.Best) != 13 {
+		t.Fatalf("bucket counts wrong")
+	}
+	// Distance-0 bucket: sectors 0,1 see each other with corr 1.
+	if med := res.Average[0].Stats.Median; math.IsNaN(med) || med < 0.9 {
+		t.Fatalf("distance-0 median correlation = %v, want ~1", med)
+	}
+	// Far bucket should contain the far twin with max corr ~1 for sector 0/4.
+	farHasHigh := false
+	for _, b := range res.Best[8:] {
+		if !math.IsNaN(b.Stats.WhiskerHi) && b.Stats.WhiskerHi > 0.9 {
+			farHasHigh = true
+		}
+	}
+	if !farHasHigh {
+		t.Fatal("best-of panel should find the far twin with high correlation")
+	}
+}
+
+func TestCorrelationByDistancePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CorrelationByDistance(tensor.NewMatrix(2, 4), []Point{{0, 0}}, DefaultCorrelationConfig())
+}
+
+func TestDefaultCorrelationConfig(t *testing.T) {
+	cfg := DefaultCorrelationConfig()
+	if cfg.NeighborsPerSector != 500 || cfg.TopCorrelated != 100 {
+		t.Fatal("defaults should match the paper's 500/100")
+	}
+	if len(cfg.BucketEdges) != 13 || cfg.BucketEdges[0] != 0 {
+		t.Fatalf("bucket edges = %v", cfg.BucketEdges)
+	}
+	// Last edge ~204.8 km as in Fig. 8's axis.
+	last := cfg.BucketEdges[len(cfg.BucketEdges)-1]
+	if math.Abs(last-204.8) > 1e-9 {
+		t.Fatalf("last edge = %v, want 204.8", last)
+	}
+}

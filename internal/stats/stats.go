@@ -1,0 +1,238 @@
+// Package stats implements the statistical machinery the paper's evaluation
+// relies on: the two-sample Kolmogorov–Smirnov test used for the temporal
+// stability analysis (Sec. V-A), empirical CDFs, box-plot summaries of the
+// kind drawn in Fig. 8, and bootstrap confidence intervals for the shaded
+// 95% bands of Figs. 9–14.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/randx"
+)
+
+// ECDF is an empirical cumulative distribution function over a finite
+// sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs, ignoring NaNs.
+func NewECDF(xs []float64) *ECDF {
+	vals := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			vals = append(vals, x)
+		}
+	}
+	sort.Float64s(vals)
+	return &ECDF{sorted: vals}
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// At returns F(x) = P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	idx := sort.SearchFloat64s(e.sorted, x)
+	// SearchFloat64s returns the first index with sorted[i] >= x; advance
+	// over equal values so the CDF is right-continuous and counts <= x.
+	for idx < len(e.sorted) && e.sorted[idx] == x {
+		idx++
+	}
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// KSResult is the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	// Statistic is the supremum distance between the two empirical CDFs.
+	Statistic float64
+	// PValue is the asymptotic two-sided p-value (Kolmogorov distribution
+	// with the usual effective-sample-size correction).
+	PValue float64
+	// N1, N2 are the finite sample sizes.
+	N1, N2 int
+}
+
+// KSTwoSample performs a two-sample Kolmogorov–Smirnov test between samples
+// a and b (NaNs ignored). This is the test the paper uses to show that
+// average-precision distributions for the two halves of the t range do not
+// differ (Sec. V-A).
+func KSTwoSample(a, b []float64) KSResult {
+	x := finiteSorted(a)
+	y := finiteSorted(b)
+	n1, n2 := len(x), len(y)
+	if n1 == 0 || n2 == 0 {
+		return KSResult{Statistic: math.NaN(), PValue: math.NaN(), N1: n1, N2: n2}
+	}
+	// Merge-walk both sorted samples tracking the maximum CDF gap.
+	var d float64
+	i, j := 0, 0
+	for i < n1 && j < n2 {
+		v := math.Min(x[i], y[j])
+		for i < n1 && x[i] == v {
+			i++
+		}
+		for j < n2 && y[j] == v {
+			j++
+		}
+		gap := math.Abs(float64(i)/float64(n1) - float64(j)/float64(n2))
+		if gap > d {
+			d = gap
+		}
+	}
+	ne := float64(n1) * float64(n2) / float64(n1+n2)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{Statistic: d, PValue: kolmogorovQ(lambda), N1: n1, N2: n2}
+}
+
+// kolmogorovQ returns Q_KS(lambda) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2
+// lambda^2), the asymptotic tail probability of the Kolmogorov distribution.
+func kolmogorovQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+func finiteSorted(xs []float64) []float64 {
+	vals := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			vals = append(vals, x)
+		}
+	}
+	sort.Float64s(vals)
+	return vals
+}
+
+// BoxStats is the five-number summary plus outliers used for box-plot style
+// reporting (Fig. 8 shows average/max correlation distributions per distance
+// bucket as box plots).
+type BoxStats struct {
+	Median       float64
+	Q1, Q3       float64
+	WhiskerLo    float64 // smallest value >= Q1 - 1.5*IQR
+	WhiskerHi    float64 // largest value <= Q3 + 1.5*IQR
+	OutlierCount int
+	N            int
+}
+
+// Box computes BoxStats over xs ignoring NaNs.
+func Box(xs []float64) BoxStats {
+	vals := finiteSorted(xs)
+	n := len(vals)
+	if n == 0 {
+		nan := math.NaN()
+		return BoxStats{Median: nan, Q1: nan, Q3: nan, WhiskerLo: nan, WhiskerHi: nan}
+	}
+	q1 := quantileSorted(vals, 0.25)
+	med := quantileSorted(vals, 0.5)
+	q3 := quantileSorted(vals, 0.75)
+	iqr := q3 - q1
+	loLim, hiLim := q1-1.5*iqr, q3+1.5*iqr
+	lo, hi := vals[0], vals[n-1]
+	outliers := 0
+	for _, v := range vals {
+		if v < loLim || v > hiLim {
+			outliers++
+		}
+	}
+	for _, v := range vals {
+		if v >= loLim {
+			lo = v
+			break
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		if vals[i] <= hiLim {
+			hi = vals[i]
+			break
+		}
+	}
+	return BoxStats{Median: med, Q1: q1, Q3: q3, WhiskerLo: lo, WhiskerHi: hi, OutlierCount: outliers, N: n}
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MeanCI is a mean with a symmetric bootstrap confidence interval.
+type MeanCI struct {
+	Mean   float64
+	Lo, Hi float64
+	N      int
+}
+
+// BootstrapMeanCI estimates a confidence interval for the mean of xs at the
+// given level (e.g. 0.95) using the percentile bootstrap with rounds
+// resamples. The paper shades 95% confidence bands around per-horizon
+// averages; this provides the same summary for our measured lifts.
+func BootstrapMeanCI(xs []float64, level float64, rounds int, rng *randx.RNG) MeanCI {
+	vals := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			vals = append(vals, x)
+		}
+	}
+	n := len(vals)
+	if n == 0 {
+		nan := math.NaN()
+		return MeanCI{Mean: nan, Lo: nan, Hi: nan}
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(n)
+	if n == 1 || rounds <= 0 {
+		return MeanCI{Mean: mean, Lo: mean, Hi: mean, N: n}
+	}
+	means := make([]float64, rounds)
+	for r := 0; r < rounds; r++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += vals[rng.IntN(n)]
+		}
+		means[r] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	return MeanCI{
+		Mean: mean,
+		Lo:   quantileSorted(means, alpha),
+		Hi:   quantileSorted(means, 1-alpha),
+		N:    n,
+	}
+}

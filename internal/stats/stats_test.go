@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func TestECDFBasic(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3, math.NaN()})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ECDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", e.Len())
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if !math.IsNaN(e.At(1)) {
+		t.Fatal("empty ECDF should return NaN")
+	}
+}
+
+// Property: ECDF is monotone and bounded in [0,1].
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		e := NewECDF(xs)
+		if e.Len() == 0 {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		fa, fb := e.At(a), e.At(b)
+		return fa >= 0 && fb <= 1 && fa <= fb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	res := KSTwoSample(xs, xs)
+	if res.Statistic != 0 {
+		t.Fatalf("KS statistic for identical samples = %v, want 0", res.Statistic)
+	}
+	if res.PValue < 0.999 {
+		t.Fatalf("KS p-value for identical samples = %v, want ~1", res.PValue)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	b := []float64{101, 102, 103, 104, 105, 106, 107, 108, 109, 110, 111, 112, 113, 114, 115}
+	res := KSTwoSample(a, b)
+	if res.Statistic != 1 {
+		t.Fatalf("KS statistic for disjoint samples = %v, want 1", res.Statistic)
+	}
+	if res.PValue > 0.001 {
+		t.Fatalf("KS p-value for disjoint samples = %v, want ~0", res.PValue)
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	rng := randx.New(10, 20)
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.Norm(0, 1)
+		b[i] = rng.Norm(0, 1)
+	}
+	res := KSTwoSample(a, b)
+	if res.PValue < 0.01 {
+		t.Fatalf("KS rejected equal distributions: p = %v", res.PValue)
+	}
+}
+
+func TestKSShiftedDistribution(t *testing.T) {
+	rng := randx.New(30, 40)
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.Norm(0, 1)
+		b[i] = rng.Norm(1, 1)
+	}
+	res := KSTwoSample(a, b)
+	if res.PValue > 0.001 {
+		t.Fatalf("KS failed to reject shifted distributions: p = %v", res.PValue)
+	}
+}
+
+func TestKSEmptySample(t *testing.T) {
+	res := KSTwoSample(nil, []float64{1, 2})
+	if !math.IsNaN(res.Statistic) || !math.IsNaN(res.PValue) {
+		t.Fatal("KS with empty sample should be NaN")
+	}
+}
+
+func TestKSIgnoresNaN(t *testing.T) {
+	a := []float64{1, 2, 3, math.NaN()}
+	b := []float64{1, 2, 3}
+	res := KSTwoSample(a, b)
+	if res.N1 != 3 || res.N2 != 3 {
+		t.Fatalf("NaN not ignored: n1=%d n2=%d", res.N1, res.N2)
+	}
+	if res.Statistic != 0 {
+		t.Fatalf("statistic = %v, want 0", res.Statistic)
+	}
+}
+
+// Property: KS statistic lies in [0,1] and p-value in [0,1].
+func TestKSBoundsProperty(t *testing.T) {
+	f := func(seed uint64, na, nb uint8) bool {
+		rng := randx.New(seed, 5)
+		n1 := int(na%40) + 2
+		n2 := int(nb%40) + 2
+		a := make([]float64, n1)
+		b := make([]float64, n2)
+		for i := range a {
+			a[i] = rng.Norm(0, 1)
+		}
+		for i := range b {
+			b[i] = rng.Uniform(-2, 2)
+		}
+		res := KSTwoSample(a, b)
+		return res.Statistic >= 0 && res.Statistic <= 1 && res.PValue >= 0 && res.PValue <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKolmogorovQEdges(t *testing.T) {
+	if got := kolmogorovQ(0); got != 1 {
+		t.Fatalf("Q(0) = %v, want 1", got)
+	}
+	if got := kolmogorovQ(10); got > 1e-12 {
+		t.Fatalf("Q(10) = %v, want ~0", got)
+	}
+	// Known reference value: Q(1.0) ~ 0.26999967.
+	if got := kolmogorovQ(1.0); math.Abs(got-0.26999967) > 1e-6 {
+		t.Fatalf("Q(1) = %v, want ~0.27", got)
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	b := Box(xs)
+	if b.N != 10 {
+		t.Fatalf("N = %d", b.N)
+	}
+	if b.Median != 5.5 {
+		t.Fatalf("median = %v, want 5.5", b.Median)
+	}
+	if b.OutlierCount != 1 {
+		t.Fatalf("outliers = %d, want 1 (the 100)", b.OutlierCount)
+	}
+	if b.WhiskerHi != 9 {
+		t.Fatalf("whisker hi = %v, want 9", b.WhiskerHi)
+	}
+	if b.WhiskerLo != 1 {
+		t.Fatalf("whisker lo = %v, want 1", b.WhiskerLo)
+	}
+}
+
+func TestBoxEmpty(t *testing.T) {
+	b := Box(nil)
+	if !math.IsNaN(b.Median) {
+		t.Fatal("empty box should have NaN median")
+	}
+}
+
+// Property: quartiles are ordered and whiskers are data values inside the
+// sample range, ordered consistently. (Whiskers are actual data points
+// while quartiles are interpolated, so WhiskerLo may exceed Q1 on tiny
+// samples; only the weaker ordering below is guaranteed.)
+func TestBoxOrderProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := randx.New(seed, 77)
+		m := int(n%50) + 1
+		xs := make([]float64, m)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range xs {
+			xs[i] = rng.Norm(0, 3)
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		b := Box(xs)
+		return b.Q1 <= b.Median && b.Median <= b.Q3 &&
+			b.WhiskerLo <= b.WhiskerHi &&
+			b.WhiskerLo >= lo && b.WhiskerHi <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	rng := randx.New(50, 60)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.Norm(7, 1)
+	}
+	ci := BootstrapMeanCI(xs, 0.95, 500, rng)
+	if math.Abs(ci.Mean-7) > 0.3 {
+		t.Fatalf("mean = %v, want ~7", ci.Mean)
+	}
+	if ci.Lo > ci.Mean || ci.Hi < ci.Mean {
+		t.Fatalf("CI [%v,%v] does not bracket mean %v", ci.Lo, ci.Hi, ci.Mean)
+	}
+	width := ci.Hi - ci.Lo
+	if width <= 0 || width > 1 {
+		t.Fatalf("CI width = %v looks wrong", width)
+	}
+}
+
+func TestBootstrapDegenerate(t *testing.T) {
+	rng := randx.New(1, 1)
+	ci := BootstrapMeanCI([]float64{5}, 0.95, 100, rng)
+	if ci.Mean != 5 || ci.Lo != 5 || ci.Hi != 5 {
+		t.Fatalf("single-value CI = %+v", ci)
+	}
+	empty := BootstrapMeanCI(nil, 0.95, 100, rng)
+	if !math.IsNaN(empty.Mean) {
+		t.Fatal("empty CI should be NaN")
+	}
+}
