@@ -21,6 +21,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -374,6 +375,41 @@ func BenchmarkExtensionGBT(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sweep engine: the same RF-F1 grid at increasing worker counts.
+// Comparing the w=1 line against w=NumCPU demonstrates the engine's
+// wall-clock speedup on multicore hardware (the records are bit-identical
+// at every worker count; TestSweepParallelMatchesSequential enforces it).
+
+func BenchmarkSweepWorkers(b *testing.B) {
+	e := env(b)
+	prevFit := e.Ctx.FitWorkers
+	e.Ctx.FitWorkers = 1 // isolate the sweep pool as the only lever
+	defer func() { e.Ctx.FitWorkers = prevFit }()
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := forecast.Sweep(e.Ctx, forecast.SweepConfig{
+					Models:        []forecast.Model{forecast.NewRFF1()},
+					Target:        forecast.BeHot,
+					Ts:            []int{56, 61, 66, 71},
+					Hs:            []int{1, 5, 14},
+					Ws:            []int{7},
+					RandomRepeats: 5,
+					Workers:       workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -6,16 +6,21 @@
 //
 // Usage:
 //
+//	hotbench -scale tiny      # seconds; smoke only
 //	hotbench -scale small     # minutes
 //	hotbench -scale default   # tens of minutes
 //	hotbench -scale full      # paper-sized t grid; hours
 //	hotbench -skip-forecast   # descriptive analyses only
+//	hotbench -workers 8       # bound the parallel sweep engine
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -25,16 +30,36 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hotbench: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// section is one report unit: a named experiment that renders to text.
+type section struct {
+	name string
+	f    func() (string, error)
+}
+
+// run is the testable entry point: it prepares the environment at the
+// requested scale and streams every experiment's report to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hotbench", flag.ContinueOnError)
 	var (
-		scaleName    = flag.String("scale", "small", "small | default | full")
-		seed         = flag.Uint64("seed", 1, "random seed")
-		skipForecast = flag.Bool("skip-forecast", false, "run only the descriptive analyses")
-		skipImpute   = flag.Bool("skip-impute", false, "skip the Fig 5 autoencoder comparison")
+		scaleName    = fs.String("scale", "small", "tiny | small | default | full")
+		seed         = fs.Uint64("seed", 1, "random seed")
+		workers      = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+		skipForecast = fs.Bool("skip-forecast", false, "run only the descriptive analyses")
+		skipImpute   = fs.Bool("skip-impute", false, "skip the Fig 5 autoencoder comparison")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
+	case "tiny":
+		scale = experiments.TinyScale()
 	case "small":
 		scale = experiments.SmallScale()
 	case "default":
@@ -42,127 +67,146 @@ func main() {
 	case "full":
 		scale = experiments.FullScale()
 	default:
-		log.Fatalf("unknown scale %q", *scaleName)
+		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
 	scale.Seed = *seed
+	scale.Workers = *workers
 
 	start := time.Now()
 	env, err := experiments.Prepare(scale)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("prepared %d sectors x %d days (seed %d, %d discarded) in %v\n\n",
-		env.Ctx.Sectors(), env.Ctx.Days(), *seed, env.Discarded, time.Since(start).Round(time.Millisecond))
+	effective := scale.Workers
+	if effective <= 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(out, "prepared %d sectors x %d days (seed %d, %d discarded, %d sweep workers) in %v\n\n",
+		env.Ctx.Sectors(), env.Ctx.Days(), *seed, env.Discarded, effective, time.Since(start).Round(time.Millisecond))
 
-	section := func(name string, f func() (string, error)) {
+	runSection := func(s section) error {
 		t0 := time.Now()
-		out, err := f()
+		res, err := s.f()
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			return fmt.Errorf("%s: %w", s.name, err)
 		}
-		fmt.Println(out)
-		fmt.Printf("[%s took %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintln(out, res)
+		fmt.Fprintf(out, "[%s took %v]\n\n", s.name, time.Since(t0).Round(time.Millisecond))
+		return nil
 	}
 
-	section("Fig 1", func() (string, error) { return experiments.Fig01KPIExamples(env).Format(), nil })
-	section("Fig 2", func() (string, error) { return experiments.Fig02ScoreAndLabel(env).Format(), nil })
-	section("Fig 3", func() (string, error) { return experiments.Fig03LabelRaster(env).Format(), nil })
-	section("Fig 4", func() (string, error) { return experiments.Fig04ScoreHistogram(env).Format(), nil })
+	descriptive := []section{
+		{"Fig 1", func() (string, error) { return experiments.Fig01KPIExamples(env).Format(), nil }},
+		{"Fig 2", func() (string, error) { return experiments.Fig02ScoreAndLabel(env).Format(), nil }},
+		{"Fig 3", func() (string, error) { return experiments.Fig03LabelRaster(env).Format(), nil }},
+		{"Fig 4", func() (string, error) { return experiments.Fig04ScoreHistogram(env).Format(), nil }},
+	}
 	if !*skipImpute {
-		section("Fig 5", func() (string, error) {
+		descriptive = append(descriptive, section{"Fig 5", func() (string, error) {
 			r, err := experiments.Fig05Imputation(env)
 			if err != nil {
 				return "", err
 			}
 			return r.Format(), nil
-		})
+		}})
 	}
-	section("Fig 6", func() (string, error) { return experiments.Fig06HotSpotHistograms(env).Format(), nil })
-	section("Fig 7", func() (string, error) { return experiments.Fig07ConsecutiveRuns(env).Format(), nil })
-	section("Table II", func() (string, error) { return experiments.Tab02WeeklyPatterns(env).Format(), nil })
-	section("Fig 8", func() (string, error) { return experiments.Fig08SpatialCorrelation(env).Format(), nil })
+	descriptive = append(descriptive, []section{
+		{"Fig 6", func() (string, error) { return experiments.Fig06HotSpotHistograms(env).Format(), nil }},
+		{"Fig 7", func() (string, error) { return experiments.Fig07ConsecutiveRuns(env).Format(), nil }},
+		{"Table II", func() (string, error) { return experiments.Tab02WeeklyPatterns(env).Format(), nil }},
+		{"Fig 8", func() (string, error) { return experiments.Fig08SpatialCorrelation(env).Format(), nil }},
+	}...)
+	for _, s := range descriptive {
+		if err := runSection(s); err != nil {
+			return err
+		}
+	}
 
 	if *skipForecast {
-		return
+		return nil
 	}
 
-	section("Sec V-A", func() (string, error) {
-		r, err := experiments.RunStabilityExperiment(env, forecast.BeHot)
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	})
 	var hot *experiments.HorizonResult
-	section("Figs 9-10", func() (string, error) {
-		r, err := experiments.RunHorizonExperiment(env, forecast.BeHot)
-		if err != nil {
-			return "", err
+	forecasting := []section{
+		{"Sec V-A", func() (string, error) {
+			r, err := experiments.RunStabilityExperiment(env, forecast.BeHot)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"Figs 9-10", func() (string, error) {
+			r, err := experiments.RunHorizonExperiment(env, forecast.BeHot)
+			if err != nil {
+				return "", err
+			}
+			hot = r
+			return r.Format(), nil
+		}},
+		{"Figs 11-12", func() (string, error) {
+			r, err := experiments.RunHorizonExperiment(env, forecast.BecomeHot)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"Fig 13", func() (string, error) {
+			r, err := experiments.RunWindowExperiment(env, forecast.BeHot)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"Fig 14", func() (string, error) {
+			r, err := experiments.RunWindowExperiment(env, forecast.BecomeHot)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"Fig 15", func() (string, error) {
+			r, err := experiments.RunImportanceExperiment(env, forecast.BeHot)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"Fig 16", func() (string, error) {
+			r, err := experiments.RunImportanceExperiment(env, forecast.BecomeHot)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"PR curves", func() (string, error) {
+			r, err := experiments.RunPRCurves(env, forecast.BeHot)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"Ablations", func() (string, error) {
+			bw, err := experiments.RunAblationBalancedWeights(env)
+			if err != nil {
+				return "", err
+			}
+			sp, err := experiments.RunAblationSpatial(env)
+			if err != nil {
+				return "", err
+			}
+			return bw.Format() + "\n" + sp.Format() + "\n", nil
+		}},
+	}
+	for _, s := range forecasting {
+		if err := runSection(s); err != nil {
+			return err
 		}
-		hot = r
-		return r.Format(), nil
-	})
-	section("Figs 11-12", func() (string, error) {
-		r, err := experiments.RunHorizonExperiment(env, forecast.BecomeHot)
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	})
-	section("Fig 13", func() (string, error) {
-		r, err := experiments.RunWindowExperiment(env, forecast.BeHot)
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	})
-	section("Fig 14", func() (string, error) {
-		r, err := experiments.RunWindowExperiment(env, forecast.BecomeHot)
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	})
-	section("Fig 15", func() (string, error) {
-		r, err := experiments.RunImportanceExperiment(env, forecast.BeHot)
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	})
-	section("Fig 16", func() (string, error) {
-		r, err := experiments.RunImportanceExperiment(env, forecast.BecomeHot)
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	})
-
-	section("PR curves", func() (string, error) {
-		r, err := experiments.RunPRCurves(env, forecast.BeHot)
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	})
-	section("Ablations", func() (string, error) {
-		var b string
-		bw, err := experiments.RunAblationBalancedWeights(env)
-		if err != nil {
-			return "", err
-		}
-		b += bw.Format() + "\n"
-		sp, err := experiments.RunAblationSpatial(env)
-		if err != nil {
-			return "", err
-		}
-		b += sp.Format() + "\n"
-		return b, nil
-	})
+	}
 
 	if hot != nil {
-		fmt.Printf("headline: RF-F1 vs Average on hot spots: %+.0f%% (paper: +14%%)\n",
+		fmt.Fprintf(out, "headline: RF-F1 vs Average on hot spots: %+.0f%% (paper: +14%%)\n",
 			hot.MeanDelta("RF-F1", nil))
 	}
-	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Second))
+	fmt.Fprintf(out, "total runtime %v\n", time.Since(start).Round(time.Second))
+	return nil
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunDescriptiveSmoke runs the descriptive analyses at tiny scale and
+// asserts every section renders.
+func TestRunDescriptiveSmoke(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-scale", "tiny", "-skip-forecast", "-skip-impute", "-workers", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "prepared ") || !strings.Contains(got, "sweep workers") {
+		t.Fatalf("missing preparation header:\n%s", got)
+	}
+	for _, section := range []string{
+		"Fig 1", "Fig 2", "Fig 3", "Fig 4", "Fig 6", "Fig 7", "Table II", "Fig 8",
+	} {
+		if !strings.Contains(got, "["+section+" took ") {
+			t.Fatalf("section %q missing from report", section)
+		}
+	}
+	if strings.Contains(got, "[Fig 5 took ") {
+		t.Fatal("-skip-impute did not skip Fig 5")
+	}
+	if strings.Contains(got, "Figs 9-10") {
+		t.Fatal("-skip-forecast did not skip the forecasting study")
+	}
+}
+
+// TestRunForecastSmoke exercises the full forecasting path (sweeps,
+// stability, importance, ablations) at tiny scale on the parallel engine.
+func TestRunForecastSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tiny-scale bench takes tens of seconds")
+	}
+	var buf strings.Builder
+	err := run([]string{"-scale", "tiny", "-skip-impute", "-workers", "4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, section := range []string{"Sec V-A", "Figs 9-10", "Fig 13", "Fig 15", "PR curves", "Ablations"} {
+		if !strings.Contains(got, "["+section+" took ") {
+			t.Fatalf("section %q missing from report", section)
+		}
+	}
+	if !strings.Contains(got, "headline: RF-F1 vs Average") {
+		t.Fatalf("missing headline line:\n%s", got)
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}

@@ -6,12 +6,15 @@
 //
 //	hotforecast -sectors 600 -t 60,70 -h 1,7,14 -w 7 -target hot
 //	hotforecast -in network.gob -models Average,RF-F1 -target become
+//	hotforecast -workers 8    # bound the parallel sweep engine
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -25,39 +28,52 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hotforecast: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable entry point: it builds the pipeline, sweeps the
+// requested grid on the parallel engine and prints the lift table on out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hotforecast", flag.ContinueOnError)
 	var (
-		in      = flag.String("in", "", "dataset path (empty = generate)")
-		sectors = flag.Int("sectors", 600, "sectors when generating")
-		seed    = flag.Uint64("seed", 1, "seed")
-		tsFlag  = flag.String("t", "60,70,80", "comma-separated forecast days")
-		hsFlag  = flag.String("h", "1,7,14", "comma-separated horizons")
-		wFlag   = flag.Int("w", 7, "past-window length in days")
-		target  = flag.String("target", "hot", "target: hot | become")
-		models  = flag.String("models", "", "comma-separated model subset (default: all 8)")
-		trees   = flag.Int("trees", 24, "random-forest size")
+		in      = fs.String("in", "", "dataset path (empty = generate)")
+		sectors = fs.Int("sectors", 600, "sectors when generating")
+		weeks   = fs.Int("weeks", 0, "weeks when generating (0 = the paper's 18)")
+		seed    = fs.Uint64("seed", 1, "seed")
+		tsFlag  = fs.String("t", "60,70,80", "comma-separated forecast days")
+		hsFlag  = fs.String("h", "1,7,14", "comma-separated horizons")
+		wFlag   = fs.Int("w", 7, "past-window length in days")
+		target  = fs.String("target", "hot", "target: hot | become")
+		models  = fs.String("models", "", "comma-separated model subset (default: all 8)")
+		trees   = fs.Int("trees", 24, "random-forest size")
+		workers = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	ts, err := parseInts(*tsFlag)
 	if err != nil {
-		log.Fatalf("bad -t: %v", err)
+		return fmt.Errorf("bad -t: %w", err)
 	}
 	hs, err := parseInts(*hsFlag)
 	if err != nil {
-		log.Fatalf("bad -h: %v", err)
+		return fmt.Errorf("bad -h: %w", err)
 	}
 	tgt := forecast.BeHot
 	if *target == "become" {
 		tgt = forecast.BecomeHot
 	} else if *target != "hot" {
-		log.Fatalf("unknown target %q", *target)
+		return fmt.Errorf("unknown target %q", *target)
 	}
 
-	p, err := buildPipeline(*in, *sectors, *seed, *trees)
+	p, err := buildPipeline(*in, *sectors, *weeks, *seed, *trees)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("pipeline: %d sectors, %d days (%d discarded)\n", p.Sectors(), p.Days(), p.Discarded)
+	fmt.Fprintf(out, "pipeline: %d sectors, %d days (%d discarded)\n", p.Sectors(), p.Days(), p.Discarded)
 
 	modelSet := forecast.AllModels()
 	if *models != "" {
@@ -65,18 +81,24 @@ func main() {
 		for _, name := range strings.Split(*models, ",") {
 			m, err := core.NewModel(core.ModelKind(strings.TrimSpace(name)))
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			modelSet = append(modelSet, m)
 		}
 	}
 
+	if len(ts)*len(hs) > 1 {
+		// Multi-point grids saturate the sweep pool; serialise each forest
+		// fit so -workers actually bounds the total parallelism.
+		p.Ctx.FitWorkers = 1
+	}
 	res, err := forecast.Sweep(p.Ctx, forecast.SweepConfig{
 		Models: modelSet, Target: tgt, Ts: ts, Hs: hs, Ws: []int{*wFlag},
 		RandomRepeats: 5,
+		Workers:       *workers,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Aggregate mean lift per (model, h) over t.
@@ -86,23 +108,24 @@ func main() {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Printf("\n%s forecast, w=%d, lift over random (mean over t=%v):\n", tgt, *wFlag, ts)
-	fmt.Printf("%-10s", "model")
+	fmt.Fprintf(out, "\n%s forecast, w=%d, lift over random (mean over t=%v):\n", tgt, *wFlag, ts)
+	fmt.Fprintf(out, "%-10s", "model")
 	for _, h := range hs {
-		fmt.Printf("   h=%-4d", h)
+		fmt.Fprintf(out, "   h=%-4d", h)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	for _, name := range names {
-		fmt.Printf("%-10s", name)
+		fmt.Fprintf(out, "%-10s", name)
 		for _, h := range hs {
-			fmt.Printf("   %-6.2f", mathx.Mean(lifts[name][h]))
+			fmt.Fprintf(out, "   %-6.2f", mathx.Mean(lifts[name][h]))
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
+	return nil
 }
 
-func buildPipeline(path string, sectors int, seed uint64, trees int) (*core.Pipeline, error) {
-	cfg := core.Config{Seed: seed, Sectors: sectors, ForestTrees: trees, TrainDays: 4}
+func buildPipeline(path string, sectors, weeks int, seed uint64, trees int) (*core.Pipeline, error) {
+	cfg := core.Config{Seed: seed, Sectors: sectors, Weeks: weeks, ForestTrees: trees, TrainDays: 4}
 	if path == "" {
 		return core.NewPipeline(cfg)
 	}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke evaluates two baselines on a tiny generated network and
+// asserts the lift table parses.
+func TestRunSmoke(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-sectors", "150", "-weeks", "8", "-seed", "2",
+		"-t", "30", "-h", "1,3", "-w", "7",
+		"-models", "Average,Persist", "-workers", "2",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "pipeline:") {
+		t.Fatalf("missing pipeline header:\n%s", got)
+	}
+	if !strings.Contains(got, "h=1") || !strings.Contains(got, "h=3") {
+		t.Fatalf("missing horizon columns:\n%s", got)
+	}
+	for _, model := range []string{"Average", "Persist"} {
+		line := ""
+		for _, l := range strings.Split(got, "\n") {
+			if strings.HasPrefix(l, model) {
+				line = l
+			}
+		}
+		if line == "" {
+			t.Fatalf("no row for %s:\n%s", model, got)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			t.Fatalf("row %q should have model + 2 lift columns", line)
+		}
+		for _, f := range fields[1:] {
+			if _, err := strconv.ParseFloat(f, 64); err != nil {
+				t.Fatalf("unparseable lift %q in row %q", f, line)
+			}
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers runs the same tiny sweep at two worker
+// counts: the printed tables must match exactly.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	table := func(workers string) string {
+		var buf strings.Builder
+		err := run([]string{
+			"-sectors", "150", "-weeks", "8", "-seed", "2",
+			"-t", "30", "-h", "1", "-w", "7",
+			"-models", "Average,Persist,Random", "-workers", workers,
+		}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := table("1"), table("4"); a != b {
+		t.Fatalf("output differs across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", a, b)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-t", "not-a-number"}, &strings.Builder{}); err == nil {
+		t.Fatal("bad -t accepted")
+	}
+	if err := run([]string{"-target", "bogus"}, &strings.Builder{}); err == nil {
+		t.Fatal("bad -target accepted")
+	}
+}

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -18,14 +19,25 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hotgen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable entry point: it parses args, generates the dataset
+// and reports the outcome on out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hotgen", flag.ContinueOnError)
 	var (
-		out     = flag.String("out", "network.gob", "output path")
-		sectors = flag.Int("sectors", 1000, "approximate sector count")
-		weeks   = flag.Int("weeks", 18, "observation window in weeks")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		missing = flag.Float64("missing", 0.045, "target missing-value fraction")
+		outPath = fs.String("out", "network.gob", "output path")
+		sectors = fs.Int("sectors", 1000, "approximate sector count")
+		weeks   = fs.Int("weeks", 18, "observation window in weeks")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		missing = fs.Float64("missing", 0.045, "target missing-value fraction")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := simnet.DefaultConfig()
 	cfg.Sectors = *sectors
@@ -33,19 +45,20 @@ func main() {
 	cfg.Seed = *seed
 	cfg.MissingTarget = *missing
 	if err := cfg.Validate(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ds, err := simnet.Generate(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if err := ds.SaveFile(*out); err != nil {
-		log.Fatal(err)
+	if err := ds.SaveFile(*outPath); err != nil {
+		return err
 	}
-	info, err := os.Stat(*out)
+	info, err := os.Stat(*outPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %s: %d sectors x %d hours x %d KPIs (%.1f MB, %.1f%% missing)\n",
-		*out, ds.K.N, ds.K.T, ds.K.F, float64(info.Size())/1e6, 100*ds.K.MissingFraction())
+	fmt.Fprintf(out, "wrote %s: %d sectors x %d hours x %d KPIs (%.1f MB, %.1f%% missing)\n",
+		*outPath, ds.K.N, ds.K.T, ds.K.F, float64(info.Size())/1e6, 100*ds.K.MissingFraction())
+	return nil
 }

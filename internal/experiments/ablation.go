@@ -9,6 +9,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/forecast"
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 )
 
 // AblationResult compares a design choice: the paper's setting against a
@@ -39,6 +40,30 @@ func ablationGrid(env *Env) (ts []int, hs []int) {
 		hs = env.Scale.Hs[:1]
 	}
 	return ts, hs
+}
+
+// liftArm is one model's outcome in a two-arm comparison.
+type liftArm struct {
+	lift   float64
+	points int
+}
+
+// meanLiftPair evaluates the two arms of an ablation concurrently.
+func meanLiftPair(env *Env, a, b forecast.Model, ts, hs []int) (liftArm, liftArm, error) {
+	arms, err := parallel.Gather(env.Scale.Workers, []func() (liftArm, error){
+		func() (liftArm, error) {
+			lift, n, err := meanLiftOf(env, a, ts, hs)
+			return liftArm{lift, n}, err
+		},
+		func() (liftArm, error) {
+			lift, n, err := meanLiftOf(env, b, ts, hs)
+			return liftArm{lift, n}, err
+		},
+	})
+	if err != nil {
+		return liftArm{}, liftArm{}, err
+	}
+	return arms[0], arms[1], nil
 }
 
 // meanLiftOf evaluates one model over the grid and returns its mean lift.
@@ -75,18 +100,14 @@ func RunAblationBalancedWeights(env *Env) (*AblationResult, error) {
 	balanced := forecast.NewTreeModel()
 	unbalanced := forecast.NewTreeModel()
 	unbalanced.Unbalanced = true
-	bLift, n, err := meanLiftOf(env, balanced, ts, hs)
-	if err != nil {
-		return nil, err
-	}
-	uLift, _, err := meanLiftOf(env, unbalanced, ts, hs)
+	b, u, err := meanLiftPair(env, balanced, unbalanced, ts, hs)
 	if err != nil {
 		return nil, err
 	}
 	return &AblationResult{
 		Name:         "balanced-weights",
 		PaperSetting: "balanced", Variant: "unbalanced",
-		PaperLift: bLift, VariantLift: uLift, Points: n,
+		PaperLift: b.lift, VariantLift: u.lift, Points: b.points,
 	}, nil
 }
 
@@ -117,18 +138,14 @@ func RunAblationSpatial(env *Env) (*AblationResult, error) {
 	global := forecast.NewRFF1()
 	local := forecast.NewRFF1()
 	local.SectorSubset = byCity[best]
-	gLift, n, err := meanLiftOf(env, global, ts, hs)
-	if err != nil {
-		return nil, err
-	}
-	lLift, _, err := meanLiftOf(env, local, ts, hs)
+	g, l, err := meanLiftPair(env, global, local, ts, hs)
 	if err != nil {
 		return nil, err
 	}
 	return &AblationResult{
 		Name:         "spatial-constraint",
 		PaperSetting: "all-sectors", Variant: fmt.Sprintf("city-%d-only(n=%d)", best, bestN),
-		PaperLift: gLift, VariantLift: lLift, Points: n,
+		PaperLift: g.lift, VariantLift: l.lift, Points: g.points,
 	}, nil
 }
 
@@ -151,12 +168,18 @@ func RunPRCurves(env *Env, target forecast.Target) (*PRCurveResult, error) {
 	models := []forecast.Model{
 		forecast.RandomModel{}, forecast.AverageModel{}, forecast.NewRFF1(),
 	}
-	for _, m := range models {
+	curves, err := parallel.Map(env.Scale.Workers, models, func(_ int, m forecast.Model) ([]eval.PRPoint, error) {
 		scores, err := m.Forecast(env.Ctx, target, t, h, w)
 		if err != nil {
 			return nil, err
 		}
-		out.Curves[m.Name()] = eval.PRCurve(scores, labels)
+		return eval.PRCurve(scores, labels), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range models {
+		out.Curves[m.Name()] = curves[i]
 	}
 	return out, nil
 }

@@ -35,6 +35,17 @@ type Scale struct {
 	Workers int
 }
 
+// TinyScale is for smoke tests and -short runs (seconds of CPU). The
+// network is too small for the paper's shape results; use SmallScale for
+// anything that asserts on figures.
+func TinyScale() Scale {
+	return Scale{
+		Sectors: 200, Seed: 1, TCount: 2,
+		Hs: []int{1, 5}, Ws: []int{1, 7},
+		ForestTrees: 4, TrainDays: 3, RandomRepeats: 2,
+	}
+}
+
 // SmallScale is for tests and quick benches (minutes of CPU).
 func SmallScale() Scale {
 	return Scale{
@@ -122,5 +133,9 @@ func Prepare(s Scale) (*Env, error) {
 	}
 	ctx.TrainDays = s.TrainDays
 	ctx.ForestTrees = s.ForestTrees
+	// Experiment grids always hold many points, so the sweep pool is the
+	// parallelism lever; serialise each forest fit to keep the total
+	// goroutine count at Workers (and make Workers=1 truly sequential).
+	ctx.FitWorkers = 1
 	return &Env{Scale: s, Dataset: sub, Set: set, Ctx: ctx, Discarded: discarded}, nil
 }

@@ -25,6 +25,23 @@ func getEnv(t *testing.T) *Env {
 	return env
 }
 
+// sharedTinyEnv backs the -short forecasting tests: big enough to exercise
+// the sweep engine end to end, too small for the paper's shape results.
+var sharedTinyEnv *Env
+
+func getTinyEnv(t *testing.T) *Env {
+	t.Helper()
+	if sharedTinyEnv != nil {
+		return sharedTinyEnv
+	}
+	env, err := Prepare(TinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedTinyEnv = env
+	return env
+}
+
 func TestScaleTs(t *testing.T) {
 	s := SmallScale()
 	s.TCount = 3
@@ -294,6 +311,106 @@ func TestPRCurves(t *testing.T) {
 		t.Fatalf("RF-F1 P@R0.5 (%.3f) should beat Random (%.3f)", rf, rnd)
 	}
 	if !strings.Contains(res.Format(), "PR curves") {
+		t.Fatal("format broken")
+	}
+}
+
+// TestHorizonExperimentTiny drives the full horizon pipeline (parallel
+// sweep, per-model bootstrap aggregation, delta curves) at tiny scale with
+// shape-only assertions, so `go test -short` still covers the path.
+func TestHorizonExperimentTiny(t *testing.T) {
+	env := getTinyEnv(t)
+	res, err := RunHorizonExperiment(env, forecast.BeHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 8 {
+		t.Fatalf("models in curves = %d, want 8", len(res.Curves))
+	}
+	out := res.Format()
+	if !strings.Contains(out, "Fig 9") || !strings.Contains(out, "Fig 10") {
+		t.Fatal("format output missing figures")
+	}
+}
+
+// TestHorizonExperimentDeterministic re-runs the tiny horizon experiment
+// on a fresh env at a different worker count: curves (bootstrap CIs
+// included) must be bit-identical, the end-to-end determinism contract of
+// the parallel engine.
+func TestHorizonExperimentDeterministic(t *testing.T) {
+	runOnce := func(workers int) *HorizonResult {
+		s := TinyScale()
+		s.Workers = workers
+		env, err := Prepare(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunHorizonExperiment(env, forecast.BeHot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := runOnce(1), runOnce(4)
+	for model, ca := range a.Curves {
+		cb, ok := b.Curves[model]
+		if !ok || len(ca) != len(cb) {
+			t.Fatalf("curves for %s differ in shape", model)
+		}
+		for i := range ca {
+			pa, pb := ca[i], cb[i]
+			if pa.X != pb.X || !eqNaN(pa.Mean, pb.Mean) || !eqNaN(pa.Lo, pb.Lo) || !eqNaN(pa.Hi, pb.Hi) {
+				t.Fatalf("%s point %d differs across worker counts:\n%+v\n%+v", model, i, pa, pb)
+			}
+		}
+	}
+}
+
+func eqNaN(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// TestWindowExperimentTiny covers RunWindowExperiment (previously
+// bench-only) at -short cost.
+func TestWindowExperimentTiny(t *testing.T) {
+	env := getTinyEnv(t)
+	res, err := RunWindowExperiment(env, forecast.BeHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CurvesByH) == 0 {
+		t.Fatal("no window curves")
+	}
+	for h, curve := range res.CurvesByH {
+		if len(curve) != len(env.Scale.Ws) {
+			t.Fatalf("h=%d has %d points, want one per w in %v", h, len(curve), env.Scale.Ws)
+		}
+	}
+	if !strings.Contains(res.Format(), "Fig 13") {
+		t.Fatal("format broken")
+	}
+}
+
+// TestStabilityExperiment covers RunStabilityExperiment (previously
+// bench-only). The full 36-day t grid makes it a non-short test.
+func TestStabilityExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stability sweeps the full t grid")
+	}
+	env := getTinyEnv(t)
+	res, err := RunStabilityExperiment(env, forecast.BeHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PValues) == 0 {
+		t.Fatal("no KS cells")
+	}
+	for _, c := range res.PValues {
+		if c.PValue < 0 || c.PValue > 1 {
+			t.Fatalf("KS p-value out of range: %+v", c)
+		}
+	}
+	if !strings.Contains(res.Format(), "Sec V-A") {
 		t.Fatal("format broken")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/forecast"
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/stats"
 )
@@ -61,10 +62,19 @@ func RunHorizonExperiment(env *Env, target forecast.Target) (*HorizonResult, err
 		return nil, err
 	}
 	out := &HorizonResult{Target: target, W: w, Curves: LiftCurves{}, DeltaVsAverage: LiftCurves{}, Sweep: res}
-	rng := randx.New(env.Scale.Seed, 0xc1)
 	byModel := res.LiftsByModelH(w)
-	for model, byH := range byModel {
-		out.Curves[model] = aggregateCurve(byH, rng)
+	// Each model's bootstrap stream is keyed by its name, so the CIs are
+	// independent of both map-iteration order and scheduling. (The previous
+	// sequential code shared one RNG across a map range — nondeterministic.)
+	names := sortedKeys(byModel)
+	curves, err := parallel.Map(env.Scale.Workers, names, func(_ int, model string) ([]LiftPoint, error) {
+		return aggregateCurve(byModel[model], curveRNG(env.Scale.Seed, 0xc1, "horizon", model)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, model := range names {
+		out.Curves[model] = curves[i]
 	}
 	// Delta vs Average per h, computed from mean lifts.
 	avgCurve := indexCurve(out.Curves["Average"])
@@ -84,6 +94,22 @@ func RunHorizonExperiment(env *Env, target forecast.Target) (*HorizonResult, err
 		out.DeltaVsAverage[clf] = deltas
 	}
 	return out, nil
+}
+
+// curveRNG derives the bootstrap stream for one aggregation curve, keyed
+// by (seed, experiment word, curve label) so curves can be aggregated in
+// any order — or concurrently — without changing their CIs.
+func curveRNG(seed, word uint64, kind, label string) *randx.RNG {
+	return randx.New(seed, word).Derive(kind + "/" + label)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func aggregateCurve(byX map[int][]float64, rng *randx.RNG) []LiftPoint {
@@ -206,10 +232,15 @@ func RunWindowExperiment(env *Env, target forecast.Target) (*WindowResult, error
 		return nil, err
 	}
 	out := &WindowResult{Target: target, Model: model.Name(), CurvesByH: map[int][]LiftPoint{}}
-	rng := randx.New(env.Scale.Seed, 0xc2)
-	for _, h := range hs {
+	curves, err := parallel.Map(env.Scale.Workers, hs, func(_ int, h int) ([]LiftPoint, error) {
 		byW := res.LiftsByModelW(model.Name(), h)
-		out.CurvesByH[h] = aggregateCurve(byW, rng)
+		return aggregateCurve(byW, curveRNG(env.Scale.Seed, 0xc2, "window", fmt.Sprintf("h=%d", h))), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, h := range hs {
+		out.CurvesByH[h] = curves[i]
 	}
 	return out, nil
 }
@@ -299,25 +330,37 @@ func RunStabilityExperiment(env *Env, target forecast.Target) (*StabilityResult,
 		return nil, err
 	}
 	out := &StabilityResult{Target: target}
-	below001, below005, total := 0, 0, 0
+	type pair struct {
+		model string
+		h     int
+	}
+	var pairs []pair
 	for _, m := range models {
 		for _, h := range hs {
-			first := res.PsiSeries(m.Name(), func(r forecast.Record) bool { return r.H == h && r.T <= 69 })
-			second := res.PsiSeries(m.Name(), func(r forecast.Record) bool { return r.H == h && r.T >= 70 })
-			ks := stats.KSTwoSample(first, second)
-			if math.IsNaN(ks.PValue) {
-				continue
-			}
-			out.PValues = append(out.PValues, StabilityCell{
-				Model: m.Name(), H: h, W: 7, PValue: ks.PValue, N1: ks.N1, N2: ks.N2,
-			})
-			total++
-			if ks.PValue < 0.01 {
-				below001++
-			}
-			if ks.PValue < 0.05 {
-				below005++
-			}
+			pairs = append(pairs, pair{m.Name(), h})
+		}
+	}
+	cells, err := parallel.Map(env.Scale.Workers, pairs, func(_ int, p pair) (StabilityCell, error) {
+		first := res.PsiSeries(p.model, func(r forecast.Record) bool { return r.H == p.h && r.T <= 69 })
+		second := res.PsiSeries(p.model, func(r forecast.Record) bool { return r.H == p.h && r.T >= 70 })
+		ks := stats.KSTwoSample(first, second)
+		return StabilityCell{Model: p.model, H: p.h, W: 7, PValue: ks.PValue, N1: ks.N1, N2: ks.N2}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	below001, below005, total := 0, 0, 0
+	for _, c := range cells {
+		if math.IsNaN(c.PValue) {
+			continue
+		}
+		out.PValues = append(out.PValues, c)
+		total++
+		if c.PValue < 0.01 {
+			below001++
+		}
+		if c.PValue < 0.05 {
+			below005++
 		}
 	}
 	if total > 0 {

@@ -29,16 +29,26 @@ type ImportanceResult struct {
 }
 
 // RunImportanceExperiment fits RF-R at the paper's h=5, w=7 setting and a
-// mid-range t, and reshapes its importances.
+// mid-range t, and reshapes its importances. Small reproductions can hit a
+// degenerate training day for the rare become-hot target (the fit falls
+// back to the Average baseline and leaves no importances), so candidate
+// days are scanned middle-out until one fits.
 func RunImportanceExperiment(env *Env, target forecast.Target) (*ImportanceResult, error) {
 	const h, w = 5, 7
 	model := forecast.NewRFR()
 	ts := env.Scale.Ts()
-	t := ts[len(ts)/2]
-	if _, err := model.Forecast(env.Ctx, target, t, h, w); err != nil {
-		return nil, err
+	var imp []float64
+	for _, t := range middleOut(ts) {
+		if _, err := model.Forecast(env.Ctx, target, t, h, w); err != nil {
+			return nil, err
+		}
+		if imp = model.LastImportances; imp != nil {
+			break
+		}
 	}
-	imp := model.LastImportances
+	if imp == nil {
+		return nil, fmt.Errorf("experiments: importance (%s): every candidate t has a degenerate training set", target)
+	}
 	channels := env.Ctx.View.Channels()
 	hours := w * timegrid.HoursPerDay
 	if len(imp) != hours*channels {
@@ -66,6 +76,22 @@ func RunImportanceExperiment(env *Env, target forecast.Target) (*ImportanceResul
 		return res.ChannelTotals[res.TopChannels[a]] > res.ChannelTotals[res.TopChannels[b]]
 	})
 	return res, nil
+}
+
+// middleOut reorders candidate forecast days from the middle of the range
+// outward, so the paper's mid-range preference is kept when it works.
+func middleOut(ts []int) []int {
+	var out []int
+	mid := len(ts) / 2
+	for d := 0; d <= len(ts); d++ {
+		if mid+d < len(ts) {
+			out = append(out, ts[mid+d])
+		}
+		if d > 0 && mid-d >= 0 {
+			out = append(out, ts[mid-d])
+		}
+	}
+	return out
 }
 
 // ScoreChannelShare returns the total importance captured by the

@@ -2,6 +2,7 @@ package forecast
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/features"
 	"repro/internal/mltree"
@@ -29,7 +30,11 @@ type ClassifierModel struct {
 	// Predictions are still produced for every sector.
 	SectorSubset []int
 	// Importances of the last fitted model (nil until Forecast ran).
+	// Concurrent sweeps share one model value per grid, so the write is
+	// mutex-guarded; read it only after the Forecast (or sweep) returns.
 	LastImportances []float64
+
+	mu sync.Mutex
 }
 
 // NewTreeModel returns the paper's single-CART model over raw inputs.
@@ -54,6 +59,14 @@ func NewRFF2() *ClassifierModel {
 
 // Name implements Model.
 func (m *ClassifierModel) Name() string { return m.ModelName }
+
+// setImportances records the last fit's importances. Sweep workers calling
+// Forecast concurrently on the shared model race on the write otherwise.
+func (m *ClassifierModel) setImportances(imp []float64) {
+	m.mu.Lock()
+	m.LastImportances = imp
+	m.mu.Unlock()
+}
 
 // Forecast implements Model: fit per Eq. 7, predict per Eq. 6.
 func (m *ClassifierModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
@@ -113,7 +126,7 @@ func (m *ClassifierModel) Forecast(c *Context, target Target, t, h, w int) ([]fl
 		if err != nil {
 			return nil, fmt.Errorf("forecast: fitting tree: %w", err)
 		}
-		m.LastImportances = tree.Importances()
+		m.setImportances(tree.Importances())
 		predict = tree.PredictProba
 	} else {
 		cfg := mltree.ForestConfig{
@@ -121,12 +134,13 @@ func (m *ClassifierModel) Forecast(c *Context, target Target, t, h, w int) ([]fl
 			Tree:      mltree.ForestTreeConfig(),
 			Bootstrap: true,
 			Seed:      seed,
+			Workers:   c.FitWorkers,
 		}
 		forest, err := mltree.FitForest(x, len(labels), width, labels, weights, 2, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("forecast: fitting forest: %w", err)
 		}
-		m.LastImportances = forest.Importances()
+		m.setImportances(forest.Importances())
 		predict = forest.PredictProba
 	}
 

@@ -50,6 +50,10 @@ type Context struct {
 	TrainDays int
 	// ForestTrees is the ensemble size for the RF models.
 	ForestTrees int
+	// FitWorkers bounds the tree-level parallelism inside one forest fit
+	// (0 = GOMAXPROCS). Sweeps that already fan grid points across all
+	// cores set this to 1 so the two levels do not oversubscribe.
+	FitWorkers int
 	// Seed drives every stochastic model component.
 	Seed uint64
 }

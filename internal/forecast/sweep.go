@@ -3,10 +3,9 @@ package forecast
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/eval"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 )
 
@@ -69,11 +68,6 @@ func Sweep(c *Context, cfg SweepConfig) (*Result, error) {
 	if cfg.RandomRepeats < 1 {
 		cfg.RandomRepeats = 1
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
 	type point struct{ t, h, w int }
 	var points []point
 	for _, t := range cfg.Ts {
@@ -84,30 +78,18 @@ func Sweep(c *Context, cfg SweepConfig) (*Result, error) {
 		}
 	}
 
-	records := make([][]Record, len(points))
-	errs := make([]error, len(points))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for pi := range work {
-				records[pi], errs[pi] = evalPoint(c, cfg, points[pi].t, points[pi].h, points[pi].w)
-			}
-		}()
+	// Fan the grid out on the shared pool. evalPoint keys every RNG draw by
+	// the grid point itself, so the records are identical at any worker
+	// count; parallel.Map restores input order afterwards.
+	records, err := parallel.Map(cfg.Workers, points, func(_ int, p point) ([]Record, error) {
+		return evalPoint(c, cfg, p.t, p.h, p.w)
+	})
+	if err != nil {
+		return nil, err
 	}
-	for pi := range points {
-		work <- pi
-	}
-	close(work)
-	wg.Wait()
 	res := &Result{}
-	for pi := range points {
-		if errs[pi] != nil {
-			return nil, errs[pi]
-		}
-		res.Records = append(res.Records, records[pi]...)
+	for _, recs := range records {
+		res.Records = append(res.Records, recs...)
 	}
 	return res, nil
 }
@@ -127,18 +109,26 @@ func evalPoint(c *Context, cfg SweepConfig, t, h, w int) ([]Record, error) {
 		}
 	}
 
-	// Chance level: average psi over several independent random rankings,
-	// each from its own deterministic sub-stream.
+	// Chance level: average psi over several independent random rankings.
+	// Each repetition draws from a sub-stream keyed by (t, h, r) — never by
+	// scheduling order — so the estimate is identical at any worker count,
+	// and the fixed summation order keeps it bit-identical too.
 	psiRandom := math.NaN()
 	if positives > 0 {
-		sum := 0.0
-		scores := make([]float64, len(labels))
-		for r := 0; r < cfg.RandomRepeats; r++ {
+		aps := make([]float64, cfg.RandomRepeats)
+		// The closure never fails, so For's error is statically nil.
+		_ = parallel.For(cfg.Workers, cfg.RandomRepeats, func(r int) error {
 			rng := randx.DeriveIndexed(c.Seed, 0xc4a7ce, "psi-random", (t*1000+h)*64+r)
+			scores := make([]float64, len(labels))
 			for i := range scores {
 				scores[i] = rng.Float64()
 			}
-			sum += eval.AveragePrecision(scores, labels)
+			aps[r] = eval.AveragePrecision(scores, labels)
+			return nil
+		})
+		sum := 0.0
+		for _, ap := range aps {
+			sum += ap
 		}
 		psiRandom = sum / float64(cfg.RandomRepeats)
 	}

@@ -15,9 +15,8 @@ package mltree
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/randx"
 )
 
@@ -577,63 +576,43 @@ func FitForest(x []float64, n, f int, y []int, w []float64, numClasses int, cfg 
 	if cfg.NumTrees < 1 {
 		return nil, fmt.Errorf("mltree: forest needs at least 1 tree")
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.NumTrees {
-		workers = cfg.NumTrees
-	}
-	trees := make([]*Tree, cfg.NumTrees)
-	errs := make([]error, cfg.NumTrees)
 	// Presort once for the whole ensemble: bootstrap-by-weights never
 	// reorders X, so the per-feature argsort is shared by every tree.
 	var pre []int32
 	if splitWork(cfg.Tree, n, f) >= presortThreshold {
 		pre = Presort(x, n, f)
 	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ti := range work {
-				rng := randx.DeriveIndexed(cfg.Seed, 0x7ee5, "tree", ti)
-				wi := w
-				if cfg.Bootstrap {
-					// Bootstrap via count-weights: drawing each instance a
-					// multinomial number of times and training on the
-					// resample is equivalent to scaling its sample weight
-					// by the draw count. This avoids copying the (large)
-					// feature matrix per tree.
-					counts := make([]float64, n)
-					for d := 0; d < n; d++ {
-						counts[rng.IntN(n)]++
-					}
-					wb := make([]float64, n)
-					for i := range wb {
-						if w != nil {
-							wb[i] = w[i] * counts[i]
-						} else {
-							wb[i] = counts[i]
-						}
-					}
-					wi = wb
-				}
-				trees[ti], errs[ti] = fitTreePresorted(x, n, f, y, wi, numClasses, cfg.Tree, rng, pre)
+	// Each tree's RNG is keyed by its index, so the forest is identical at
+	// any worker count.
+	trees := make([]*Tree, cfg.NumTrees)
+	err := parallel.For(cfg.Workers, cfg.NumTrees, func(ti int) error {
+		rng := randx.DeriveIndexed(cfg.Seed, 0x7ee5, "tree", ti)
+		wi := w
+		if cfg.Bootstrap {
+			// Bootstrap via count-weights: drawing each instance a
+			// multinomial number of times and training on the resample is
+			// equivalent to scaling its sample weight by the draw count.
+			// This avoids copying the (large) feature matrix per tree.
+			counts := make([]float64, n)
+			for d := 0; d < n; d++ {
+				counts[rng.IntN(n)]++
 			}
-		}()
-	}
-	for ti := 0; ti < cfg.NumTrees; ti++ {
-		work <- ti
-	}
-	close(work)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			wb := make([]float64, n)
+			for i := range wb {
+				if w != nil {
+					wb[i] = w[i] * counts[i]
+				} else {
+					wb[i] = counts[i]
+				}
+			}
+			wi = wb
 		}
+		var err error
+		trees[ti], err = fitTreePresorted(x, n, f, y, wi, numClasses, cfg.Tree, rng, pre)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Forest{Trees: trees, NumFeatures: f, NumClasses: numClasses}, nil
 }

@@ -1,0 +1,113 @@
+// Package parallel is the shared concurrent-evaluation engine: a bounded
+// worker pool with deterministic result ordering. Every fan-out in the
+// system — sweep grid points, forest trees, synthetic sectors, spatial
+// correlation rows — routes through it, so the scheduling policy and the
+// determinism contract live in one place.
+//
+// The contract has two halves:
+//
+//  1. Results are returned in input order, never in completion order.
+//  2. Callers must key any randomness by the item's identity (index or
+//     grid point), not by scheduling order — see randx.DeriveIndexed.
+//
+// Together these make every parallel computation bit-identical to its
+// sequential counterpart, which the forecast sweep's determinism test
+// enforces end to end.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean GOMAXPROCS,
+// and the count is clamped to n (no point spawning idle goroutines).
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map applies fn to every item on a bounded pool and returns the results
+// in input order. fn receives the item's index so callers can derive
+// index-keyed RNG streams. If any invocation fails, Map returns the error
+// of the lowest-indexed failing item (deterministic regardless of
+// scheduling); all invocations still run to completion.
+//
+// workers <= 0 means GOMAXPROCS. With workers == 1 (or a single item) the
+// items run on the calling goroutine with no pool overhead.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	run(workers, len(items), func(i int) {
+		out[i], errs[i] = fn(i, items[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// For runs fn(i) for i in [0, n) on a bounded pool. Like Map it returns
+// the lowest-indexed error, after all iterations have run.
+func For(workers, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	run(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gather runs independent thunks concurrently and returns their results in
+// slice order — the fan-out shape for heterogeneous work (e.g. the two
+// arms of an ablation). Error selection matches Map.
+func Gather[R any](workers int, thunks []func() (R, error)) ([]R, error) {
+	return Map(workers, thunks, func(_ int, thunk func() (R, error)) (R, error) {
+		return thunk()
+	})
+}
+
+// run is the pool core: it executes body(i) for i in [0, n) on
+// Workers(workers, n) goroutines. Indices are handed out through a channel
+// so long items do not convoy behind a fixed pre-partition.
+func run(workers, n int, body func(i int)) {
+	if n == 0 {
+		return
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

@@ -1,0 +1,129 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, max},
+		{-3, 100, max},
+		{4, 100, 4},
+		{8, 3, 3},
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		items := make([]int, 100)
+		for i := range items {
+			items[i] = i * 3
+		}
+		out, err := Map(workers, items, func(i, item int) (string, error) {
+			return fmt.Sprintf("%d:%d", i, item), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range out {
+			if want := fmt.Sprintf("%d:%d", i, i*3); s != want {
+				t.Fatalf("workers=%d out[%d] = %q, want %q", workers, i, s, want)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, nil, func(i, item int) (int, error) { return item, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map on nil = (%v, %v)", out, err)
+	}
+}
+
+func TestMapLowestIndexedError(t *testing.T) {
+	items := make([]int, 50)
+	// Items 7, 13 and 31 fail: the reported error must always be item 7's,
+	// no matter which worker finishes first.
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(8, items, func(i, _ int) (int, error) {
+			switch i {
+			case 7, 13, 31:
+				return 0, fmt.Errorf("item %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "item 7 failed" {
+			t.Fatalf("trial %d: err = %v, want item 7's", trial, err)
+		}
+	}
+}
+
+func TestForRunsAll(t *testing.T) {
+	var sum atomic.Int64
+	if err := For(4, 1000, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Load(); got != 999*1000/2 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+func TestForError(t *testing.T) {
+	err := For(4, 10, func(i int) error {
+		if i >= 5 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom 5" {
+		t.Fatalf("err = %v, want boom 5", err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	thunks := make([]func() (int, error), 10)
+	for i := range thunks {
+		i := i
+		thunks[i] = func() (int, error) { return i * i, nil }
+	}
+	out, err := Gather(3, thunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestMapSequentialFallback confirms workers=1 runs on the calling
+// goroutine (observable: iteration order is strictly ascending).
+func TestMapSequentialFallback(t *testing.T) {
+	last := -1
+	_, err := Map(1, make([]int, 100), func(i, _ int) (int, error) {
+		if i != last+1 {
+			t.Fatalf("out-of-order sequential iteration: %d after %d", i, last)
+		}
+		last = i
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

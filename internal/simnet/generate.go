@@ -3,9 +3,8 @@ package simnet
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/tensor"
 	"repro/internal/timegrid"
@@ -159,26 +158,17 @@ func Generate(cfg Config) (*Dataset, error) {
 	// weather events, computed once.
 	shared := buildSharedEvents(grid, root.Derive("events"), topo)
 
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	ch := make(chan int)
-	for wkr := 0; wkr < workers; wkr++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				rng := randx.DeriveIndexed(cfg.Seed, 0x5bf03635, "sector", i)
-				sched, eps := buildSchedule(&topo.Sectors[i], grid, rng, cfg)
-				episodesPerSector[i] = eps
-				emitSector(i, topo, grid, &sched, shared, k, hot, rng)
-			}
-		}()
+	// Fan sectors out on the shared pool; each sector's RNG is keyed by its
+	// index, so the dataset is identical at any worker count.
+	if err := parallel.For(0, n, func(i int) error {
+		rng := randx.DeriveIndexed(cfg.Seed, 0x5bf03635, "sector", i)
+		sched, eps := buildSchedule(&topo.Sectors[i], grid, rng, cfg)
+		episodesPerSector[i] = eps
+		emitSector(i, topo, grid, &sched, shared, k, hot, rng)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	for i := 0; i < n; i++ {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
 
 	var episodes []Episode
 	for _, eps := range episodesPerSector {

@@ -7,11 +7,11 @@ package spatial
 
 import (
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
@@ -244,78 +244,78 @@ func CorrelationByDistance(y *tensor.Matrix, pts []Point, cfg CorrelationConfig)
 	if cfg.TopCorrelated >= n {
 		cfg.TopCorrelated = n - 1
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	idx := NewIndex(pts, 3.0)
 	nb := len(cfg.BucketEdges)
 
-	// Per-sector, per-bucket accumulators.
+	// Per-sector, per-bucket accumulators. Each pool iteration writes only
+	// its own row i, so the matrices need no locking.
 	avg := tensor.NewMatrixFilled(n, nb, math.NaN())
 	maxSpatial := tensor.NewMatrixFilled(n, nb, math.NaN())
 	best := tensor.NewMatrixFilled(n, nb, math.NaN())
 
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sums := make([]float64, nb)
-			counts := make([]int, nb)
-			maxs := make([]float64, nb)
-			for i := range work {
-				// Panel A/B: spatial neighbours.
-				for b := range sums {
-					sums[b], counts[b] = 0, 0
-					maxs[b] = math.Inf(-1)
-				}
-				for _, nbr := range idx.KNearest(i, cfg.NeighborsPerSector) {
-					r := mathx.Pearson(y.Row(i), y.Row(nbr.Index))
-					if math.IsNaN(r) {
-						continue
-					}
-					b := mathx.BucketIndex(cfg.BucketEdges, nbr.Distance)
-					sums[b] += r
-					counts[b]++
-					if r > maxs[b] {
-						maxs[b] = r
-					}
-				}
-				for b := 0; b < nb; b++ {
-					if counts[b] > 0 {
-						avg.Set(i, b, sums[b]/float64(counts[b]))
-						maxSpatial.Set(i, b, maxs[b])
-					}
-				}
-				// Panel C: globally most correlated, any distance.
-				top := topCorrelated(y, i, cfg.TopCorrelated)
-				for b := range maxs {
-					maxs[b] = math.Inf(-1)
-					counts[b] = 0
-				}
-				for _, tc := range top {
-					d := math.Hypot(pts[i].X-pts[tc.Index].X, pts[i].Y-pts[tc.Index].Y)
-					b := mathx.BucketIndex(cfg.BucketEdges, d)
-					counts[b]++
-					if tc.Corr > maxs[b] {
-						maxs[b] = tc.Corr
-					}
-				}
-				for b := 0; b < nb; b++ {
-					if counts[b] > 0 {
-						best.Set(i, b, maxs[b])
-					}
-				}
+	// Scratch buffers are pooled so the hot loop does not allocate three
+	// slices per sector (workers reuse them across iterations).
+	type scratch struct {
+		sums   []float64
+		counts []int
+		maxs   []float64
+	}
+	pool := sync.Pool{New: func() any {
+		return &scratch{
+			sums:   make([]float64, nb),
+			counts: make([]int, nb),
+			maxs:   make([]float64, nb),
+		}
+	}}
+	// The closure never fails, so For's error is statically nil.
+	_ = parallel.For(cfg.Workers, n, func(i int) error {
+		s := pool.Get().(*scratch)
+		defer pool.Put(s)
+		sums, counts, maxs := s.sums, s.counts, s.maxs
+		// Panel A/B: spatial neighbours.
+		for b := range sums {
+			sums[b], counts[b] = 0, 0
+			maxs[b] = math.Inf(-1)
+		}
+		for _, nbr := range idx.KNearest(i, cfg.NeighborsPerSector) {
+			r := mathx.Pearson(y.Row(i), y.Row(nbr.Index))
+			if math.IsNaN(r) {
+				continue
 			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+			b := mathx.BucketIndex(cfg.BucketEdges, nbr.Distance)
+			sums[b] += r
+			counts[b]++
+			if r > maxs[b] {
+				maxs[b] = r
+			}
+		}
+		for b := 0; b < nb; b++ {
+			if counts[b] > 0 {
+				avg.Set(i, b, sums[b]/float64(counts[b]))
+				maxSpatial.Set(i, b, maxs[b])
+			}
+		}
+		// Panel C: globally most correlated, any distance.
+		top := topCorrelated(y, i, cfg.TopCorrelated)
+		for b := range maxs {
+			maxs[b] = math.Inf(-1)
+			counts[b] = 0
+		}
+		for _, tc := range top {
+			d := math.Hypot(pts[i].X-pts[tc.Index].X, pts[i].Y-pts[tc.Index].Y)
+			b := mathx.BucketIndex(cfg.BucketEdges, d)
+			counts[b]++
+			if tc.Corr > maxs[b] {
+				maxs[b] = tc.Corr
+			}
+		}
+		for b := 0; b < nb; b++ {
+			if counts[b] > 0 {
+				best.Set(i, b, maxs[b])
+			}
+		}
+		return nil
+	})
 
 	res := &CorrelationResult{}
 	for b := 0; b < nb; b++ {
