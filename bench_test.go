@@ -386,9 +386,10 @@ func BenchmarkExtensionGBT(b *testing.B) {
 
 func BenchmarkSweepWorkers(b *testing.B) {
 	e := env(b)
-	prevFit := e.Ctx.FitWorkers
-	e.Ctx.FitWorkers = 1 // isolate the sweep pool as the only lever
-	defer func() { e.Ctx.FitWorkers = prevFit }()
+	prevFit, prevCache := e.Ctx.FitWorkers, e.Ctx.CacheBytes
+	e.Ctx.FitWorkers = 1  // isolate the sweep pool as the only lever
+	e.Ctx.CacheBytes = -1 // uncached: this bench is the pre-cache baseline
+	defer func() { e.Ctx.FitWorkers, e.Ctx.CacheBytes = prevFit, prevCache }()
 	counts := []int{1, 2, 4}
 	if n := runtime.NumCPU(); n > 4 {
 		counts = append(counts, n)
@@ -406,6 +407,44 @@ func BenchmarkSweepWorkers(b *testing.B) {
 					Workers:       workers,
 				})
 				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepCached measures the feature-plan compiler's point: the
+// grid below holds 4 horizons per distinct (t, w), so the cached arm
+// builds each distinct (end, w) matrix once and serves every other grid
+// point from the LRU, while the uncached arm re-extracts per point (the
+// BenchmarkSweepWorkers behaviour). Run with -benchmem: the cached arm
+// should also allocate substantially less.
+func BenchmarkSweepCached(b *testing.B) {
+	e := env(b)
+	prevFit, prevCache := e.Ctx.FitWorkers, e.Ctx.CacheBytes
+	e.Ctx.FitWorkers = 1
+	defer func() { e.Ctx.FitWorkers, e.Ctx.CacheBytes = prevFit, prevCache }()
+	cfg := forecast.SweepConfig{
+		Models:        []forecast.Model{forecast.NewRFF1()},
+		Target:        forecast.BeHot,
+		Ts:            []int{56, 61, 66, 71},
+		Hs:            []int{1, 3, 5, 14}, // 4 points per distinct (t, w)
+		Ws:            []int{7},
+		RandomRepeats: 5,
+		Workers:       runtime.NumCPU(),
+	}
+	for _, arm := range []struct {
+		name  string
+		bytes int64
+	}{
+		{"uncached", -1},
+		{"cached", 0}, // forecast.DefaultCacheBytes
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			e.Ctx.CacheBytes = arm.bytes
+			for i := 0; i < b.N; i++ {
+				if _, err := forecast.Sweep(e.Ctx, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -12,13 +12,17 @@
 //	hotbench -scale full      # paper-sized t grid; hours
 //	hotbench -skip-forecast   # descriptive analyses only
 //	hotbench -workers 8       # bound the parallel sweep engine
+//	hotbench -cache-mb 512    # feature-matrix cache budget (0 disables)
+//	hotbench -csv sweep.csv   # stream the Table III sweep to CSV live
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -49,6 +53,8 @@ func run(args []string, out io.Writer) error {
 		scaleName    = fs.String("scale", "small", "tiny | small | default | full")
 		seed         = fs.Uint64("seed", 1, "random seed")
 		workers      = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+		cacheMB      = fs.Int("cache-mb", 256, "feature-matrix cache budget in MiB (0 disables caching)")
+		csvPath      = fs.String("csv", "", "stream the scale's full model sweep to this CSV file as records complete")
 		skipForecast = fs.Bool("skip-forecast", false, "run only the descriptive analyses")
 		skipImpute   = fs.Bool("skip-impute", false, "skip the Fig 5 autoencoder comparison")
 	)
@@ -71,6 +77,7 @@ func run(args []string, out io.Writer) error {
 	}
 	scale.Seed = *seed
 	scale.Workers = *workers
+	scale.CacheBytes = forecast.CacheBytesMB(*cacheMB)
 
 	start := time.Now()
 	env, err := experiments.Prepare(scale)
@@ -122,8 +129,10 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	if *skipForecast {
-		return nil
+	if *csvPath != "" {
+		if err := streamCSV(env, *csvPath, out); err != nil {
+			return fmt.Errorf("csv sweep: %w", err)
+		}
 	}
 
 	var hot *experiments.HorizonResult
@@ -197,16 +206,81 @@ func run(args []string, out io.Writer) error {
 			return bw.Format() + "\n" + sp.Format() + "\n", nil
 		}},
 	}
-	for _, s := range forecasting {
-		if err := runSection(s); err != nil {
-			return err
+	if !*skipForecast {
+		for _, s := range forecasting {
+			if err := runSection(s); err != nil {
+				return err
+			}
+		}
+		if hot != nil {
+			fmt.Fprintf(out, "headline: RF-F1 vs Average on hot spots: %+.0f%% (paper: +14%%)\n",
+				hot.MeanDelta("RF-F1", nil))
 		}
 	}
 
-	if hot != nil {
-		fmt.Fprintf(out, "headline: RF-F1 vs Average on hot spots: %+.0f%% (paper: +14%%)\n",
-			hot.MeanDelta("RF-F1", nil))
+	// Any sweep activity (forecast sections or the -csv sweep) ran against
+	// the shared feature cache; summarise its effectiveness.
+	if cache := env.Ctx.FeatureCache(); cache != nil && (!*skipForecast || *csvPath != "") {
+		s := cache.Stats()
+		fmt.Fprintf(out, "feature cache: %d hits, %d misses, %d evictions, %d matrices / %.1f MiB resident (budget %d MiB)\n",
+			s.Hits, s.Misses, s.Evictions, s.Entries, float64(s.Bytes)/(1<<20), s.MaxBytes>>20)
 	}
 	fmt.Fprintf(out, "total runtime %v\n", time.Since(start).Round(time.Second))
+	return nil
+}
+
+// streamCSV runs the scale's full Table III model sweep once through the
+// streaming engine, writing every record to path the moment its grid point
+// completes (so a killed run keeps everything finished so far) and
+// printing periodic per-point progress.
+func streamCSV(env *experiments.Env, path string, out io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(forecast.CSVHeader()); err != nil {
+		return err
+	}
+	cfg := forecast.SweepConfig{
+		Models:        forecast.AllModels(),
+		Target:        forecast.BeHot,
+		Ts:            env.Scale.Ts(),
+		Hs:            env.Scale.Hs,
+		Ws:            env.Scale.Ws,
+		RandomRepeats: env.Scale.RandomRepeats,
+		Workers:       env.Scale.Workers,
+	}
+	total := len(cfg.Ts) * len(cfg.Hs) * len(cfg.Ws) * len(cfg.Models)
+	step := total / 20
+	if step < 1 {
+		step = 1
+	}
+	n, valid := 0, 0
+	start := time.Now()
+	err = forecast.SweepStream(env.Ctx, cfg, func(rec forecast.Record) error {
+		n++
+		if !math.IsNaN(rec.Psi) {
+			valid++
+		}
+		if err := w.Write(rec.CSVRow()); err != nil {
+			return err
+		}
+		w.Flush() // live emission: every record lands on disk as it streams
+		if err := w.Error(); err != nil {
+			return err
+		}
+		if n%step == 0 || n == total {
+			fmt.Fprintf(out, "csv: %d/%d records (%.0f%%) in %v\n",
+				n, total, 100*float64(n)/float64(total), time.Since(start).Round(time.Millisecond))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "csv: wrote %d records (%d evaluable) to %s in %v\n\n",
+		n, valid, path, time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -57,5 +59,51 @@ func TestRunForecastSmoke(t *testing.T) {
 func TestRunRejectsUnknownScale(t *testing.T) {
 	if err := run([]string{"-scale", "galactic"}, &strings.Builder{}); err == nil {
 		t.Fatal("unknown scale accepted")
+	}
+}
+
+// TestRunCSVStream drives the -csv streaming sweep at tiny scale: every
+// grid point of the scale's (t, h, w) grid times all eight models must
+// land in the file, with progress and a summary line on the report.
+func TestRunCSVStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tiny-scale model sweep takes tens of seconds")
+	}
+	path := filepath.Join(t.TempDir(), "sweep.csv")
+	var buf strings.Builder
+	err := run([]string{"-scale", "tiny", "-skip-forecast", "-skip-impute", "-workers", "4", "-csv", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "csv: wrote ") {
+		t.Fatalf("missing csv summary line:\n%s", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "model,target,t,h,w,psi,psi_random,lift,positives" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	// Tiny scale: 2 ts x 2 hs x 2 ws x 8 models.
+	if want := 2*2*2*8 + 1; len(lines) != want {
+		t.Fatalf("csv has %d lines, want %d", len(lines), want)
+	}
+	for _, model := range []string{"Random", "Average", "RF-F1", "RF-F2"} {
+		if !strings.Contains(string(data), model+",hot-spot,") {
+			t.Fatalf("model %s missing from csv", model)
+		}
+	}
+}
+
+// TestRunCSVBadPath: an unwritable -csv path must surface as an error, not
+// a silent no-op.
+func TestRunCSVBadPath(t *testing.T) {
+	err := run([]string{"-scale", "tiny", "-skip-forecast", "-skip-impute",
+		"-csv", filepath.Join(t.TempDir(), "no-such-dir", "x.csv")}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "csv sweep") {
+		t.Fatalf("unwritable csv path accepted (err=%v)", err)
 	}
 }

@@ -6,10 +6,13 @@
 //
 //	hotforecast -sectors 600 -t 60,70 -h 1,7,14 -w 7 -target hot
 //	hotforecast -in network.gob -models Average,RF-F1 -target become
-//	hotforecast -workers 8    # bound the parallel sweep engine
+//	hotforecast -workers 8      # bound the parallel sweep engine
+//	hotforecast -cache-mb 512   # feature-matrix cache budget (0 disables)
+//	hotforecast -csv sweep.csv  # stream records to CSV as they complete
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +52,8 @@ func run(args []string, out io.Writer) error {
 		models  = fs.String("models", "", "comma-separated model subset (default: all 8)")
 		trees   = fs.Int("trees", 24, "random-forest size")
 		workers = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+		cacheMB = fs.Int("cache-mb", 256, "feature-matrix cache budget in MiB (0 disables caching)")
+		csvPath = fs.String("csv", "", "also stream sweep records to this CSV file as they complete")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,7 +74,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown target %q", *target)
 	}
 
-	p, err := buildPipeline(*in, *sectors, *weeks, *seed, *trees)
+	p, err := buildPipeline(*in, *sectors, *weeks, *seed, *trees, *cacheMB)
 	if err != nil {
 		return err
 	}
@@ -92,13 +97,45 @@ func run(args []string, out io.Writer) error {
 		// fit so -workers actually bounds the total parallelism.
 		p.Ctx.FitWorkers = 1
 	}
-	res, err := forecast.Sweep(p.Ctx, forecast.SweepConfig{
+
+	// Stream the sweep: records are collected for the lift table and, when
+	// -csv is set, written to disk the moment their grid point completes.
+	var emitCSV func(forecast.Record) error
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cw := csv.NewWriter(f)
+		if err := cw.Write(forecast.CSVHeader()); err != nil {
+			return err
+		}
+		emitCSV = func(rec forecast.Record) error {
+			if err := cw.Write(rec.CSVRow()); err != nil {
+				return err
+			}
+			cw.Flush()
+			return cw.Error()
+		}
+	}
+	res := &forecast.Result{}
+	err = forecast.SweepStream(p.Ctx, forecast.SweepConfig{
 		Models: modelSet, Target: tgt, Ts: ts, Hs: hs, Ws: []int{*wFlag},
 		RandomRepeats: 5,
 		Workers:       *workers,
+	}, func(rec forecast.Record) error {
+		res.Records = append(res.Records, rec)
+		if emitCSV != nil {
+			return emitCSV(rec)
+		}
+		return nil
 	})
 	if err != nil {
 		return err
+	}
+	if *csvPath != "" {
+		fmt.Fprintf(out, "streamed %d records to %s\n", len(res.Records), *csvPath)
 	}
 
 	// Aggregate mean lift per (model, h) over t.
@@ -124,8 +161,9 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func buildPipeline(path string, sectors, weeks int, seed uint64, trees int) (*core.Pipeline, error) {
-	cfg := core.Config{Seed: seed, Sectors: sectors, Weeks: weeks, ForestTrees: trees, TrainDays: 4}
+func buildPipeline(path string, sectors, weeks int, seed uint64, trees, cacheMB int) (*core.Pipeline, error) {
+	cfg := core.Config{Seed: seed, Sectors: sectors, Weeks: weeks, ForestTrees: trees, TrainDays: 4,
+		CacheBytes: forecast.CacheBytesMB(cacheMB)}
 	if path == "" {
 		return core.NewPipeline(cfg)
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -64,6 +66,37 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if a, b := table("1"), table("4"); a != b {
 		t.Fatalf("output differs across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", a, b)
+	}
+}
+
+// TestRunCSVStream: -csv streams every sweep record to the file alongside
+// the printed lift table.
+func TestRunCSVStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "records.csv")
+	var buf strings.Builder
+	err := run([]string{
+		"-sectors", "150", "-weeks", "8", "-seed", "2",
+		"-t", "30,32", "-h", "1,3", "-w", "7",
+		"-models", "Average,Persist", "-workers", "2",
+		"-csv", path,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "streamed 8 records to ") {
+		t.Fatalf("missing streamed summary:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// 2 ts x 2 hs x 1 w x 2 models, plus the header.
+	if len(lines) != 9 {
+		t.Fatalf("csv has %d lines, want 9:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[0], "model,target,t,h,w,") {
+		t.Fatalf("bad header %q", lines[0])
 	}
 }
 

@@ -86,6 +86,9 @@ type Config struct {
 	// TrainDays and ForestTrees tune the classifier models.
 	TrainDays   int
 	ForestTrees int
+	// CacheBytes bounds the shared feature-matrix cache
+	// (0 = forecast.DefaultCacheBytes, negative disables).
+	CacheBytes int64
 }
 
 // Pipeline is a prepared end-to-end hot-spot forecasting system.
@@ -152,6 +155,7 @@ func FromDataset(ds *simnet.Dataset, cfg Config) (*Pipeline, error) {
 	if cfg.ForestTrees > 0 {
 		ctx.ForestTrees = cfg.ForestTrees
 	}
+	ctx.CacheBytes = cfg.CacheBytes
 	return &Pipeline{Dataset: sub, Scores: set, Ctx: ctx, Discarded: discarded}, nil
 }
 
@@ -175,14 +179,26 @@ func (p *Pipeline) Forecast(kind ModelKind, target forecast.Target, t, h, w int)
 // Evaluate sweeps all eight models over the given grid and returns the
 // result for aggregation.
 func (p *Pipeline) Evaluate(target forecast.Target, ts, hs []int, w int) (*forecast.Result, error) {
-	return forecast.Sweep(p.Ctx, forecast.SweepConfig{
+	return forecast.Sweep(p.Ctx, p.sweepConfig(target, ts, hs, w))
+}
+
+// EvaluateStream sweeps all eight models over the given grid, handing each
+// record to emit in deterministic grid order as its point completes —
+// the non-buffering counterpart of Evaluate for huge grids or live
+// emission (dashboards, CSV sinks).
+func (p *Pipeline) EvaluateStream(target forecast.Target, ts, hs []int, w int, emit func(forecast.Record) error) error {
+	return forecast.SweepStream(p.Ctx, p.sweepConfig(target, ts, hs, w), emit)
+}
+
+func (p *Pipeline) sweepConfig(target forecast.Target, ts, hs []int, w int) forecast.SweepConfig {
+	return forecast.SweepConfig{
 		Models:        forecast.AllModels(),
 		Target:        target,
 		Ts:            ts,
 		Hs:            hs,
 		Ws:            []int{w},
 		RandomRepeats: 5,
-	})
+	}
 }
 
 // TopK returns the k sector IDs with the highest forecast scores: the

@@ -72,6 +72,55 @@ func TestPipelineEvaluate(t *testing.T) {
 	}
 }
 
+// TestPipelineEvaluateStream: the streaming evaluation must deliver the
+// exact record sequence Evaluate collects, and honour the configured
+// feature-cache budget.
+func TestPipelineEvaluateStream(t *testing.T) {
+	p := smallPipeline(t)
+	res, err := p.Evaluate(forecast.BeHot, []int{30}, []int{1, 3}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []forecast.Record
+	if err := p.EvaluateStream(forecast.BeHot, []int{30}, []int{1, 3}, 7, func(rec forecast.Record) error {
+		streamed = append(streamed, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(res.Records) {
+		t.Fatalf("streamed %d records, Evaluate collected %d", len(streamed), len(res.Records))
+	}
+	for i := range streamed {
+		a, b := streamed[i], res.Records[i]
+		if a.Model != b.Model || a.T != b.T || a.H != b.H || a.W != b.W {
+			t.Fatalf("record %d identity differs:\n%+v\n%+v", i, a, b)
+		}
+		if !eqNaN(a.Psi, b.Psi) || !eqNaN(a.Lift, b.Lift) {
+			t.Fatalf("record %d values differ:\n%+v\n%+v", i, a, b)
+		}
+	}
+	if cache := p.Ctx.FeatureCache(); cache == nil || cache.Stats().Hits == 0 {
+		t.Fatal("pipeline sweeps should run against the shared feature cache")
+	}
+}
+
+// TestPipelineCacheDisabled: a negative Config.CacheBytes threads through
+// to a nil feature cache.
+func TestPipelineCacheDisabled(t *testing.T) {
+	p, err := NewPipeline(Config{Seed: 3, Sectors: 60, Weeks: 6, CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ctx.FeatureCache() != nil {
+		t.Fatal("negative CacheBytes should disable the feature cache")
+	}
+}
+
+func eqNaN(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
 func TestTopK(t *testing.T) {
 	scores := []float64{0.1, 0.9, 0.5}
 	top := TopK(scores, 2)

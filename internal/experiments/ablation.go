@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/forecast"
-	"repro/internal/mathx"
 	"repro/internal/parallel"
 )
 
@@ -66,9 +65,11 @@ func meanLiftPair(env *Env, a, b forecast.Model, ts, hs []int) (liftArm, liftArm
 	return arms[0], arms[1], nil
 }
 
-// meanLiftOf evaluates one model over the grid and returns its mean lift.
+// meanLiftOf evaluates one model over the grid and returns its mean lift,
+// folding the record stream into a running sum instead of buffering it.
 func meanLiftOf(env *Env, m forecast.Model, ts, hs []int) (float64, int, error) {
-	res, err := forecast.Sweep(env.Ctx, forecast.SweepConfig{
+	sum, n := 0.0, 0
+	err := forecast.SweepStream(env.Ctx, forecast.SweepConfig{
 		Models:        []forecast.Model{m},
 		Target:        forecast.BeHot,
 		Ts:            ts,
@@ -76,17 +77,20 @@ func meanLiftOf(env *Env, m forecast.Model, ts, hs []int) (float64, int, error) 
 		Ws:            []int{7},
 		RandomRepeats: env.Scale.RandomRepeats,
 		Workers:       env.Scale.Workers,
+	}, func(rec forecast.Record) error {
+		if !math.IsNaN(rec.Lift) {
+			sum += rec.Lift
+			n++
+		}
+		return nil
 	})
 	if err != nil {
 		return math.NaN(), 0, err
 	}
-	var lifts []float64
-	for _, rec := range res.Records {
-		if !math.IsNaN(rec.Lift) {
-			lifts = append(lifts, rec.Lift)
-		}
+	if n == 0 {
+		return math.NaN(), 0, nil
 	}
-	return mathx.Mean(lifts), len(lifts), nil
+	return sum / float64(n), n, nil
 }
 
 // RunAblationBalancedWeights compares the paper's class-balanced sample

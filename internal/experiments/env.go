@@ -33,6 +33,9 @@ type Scale struct {
 	RandomRepeats int
 	// Workers bounds sweep parallelism (0 = GOMAXPROCS).
 	Workers int
+	// CacheBytes bounds the shared feature-matrix cache
+	// (0 = forecast.DefaultCacheBytes, negative disables).
+	CacheBytes int64
 }
 
 // TinyScale is for smoke tests and -short runs (seconds of CPU). The
@@ -133,6 +136,7 @@ func Prepare(s Scale) (*Env, error) {
 	}
 	ctx.TrainDays = s.TrainDays
 	ctx.ForestTrees = s.ForestTrees
+	ctx.CacheBytes = s.CacheBytes
 	// Experiment grids always hold many points, so the sweep pool is the
 	// parallelism lever; serialise each forest fit to keep the total
 	// goroutine count at Workers (and make Workers=1 truly sequential).

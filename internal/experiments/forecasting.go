@@ -27,7 +27,8 @@ type LiftPoint struct {
 type LiftCurves map[string][]LiftPoint
 
 // HorizonResult reproduces a lift-versus-horizon figure (Fig. 9 or 11) and
-// its companion delta figure (Fig. 10 or 12).
+// its companion delta figure (Fig. 10 or 12). Lifts are accumulated from
+// the streaming sweep, so the raw record set is never buffered.
 type HorizonResult struct {
 	Target forecast.Target
 	W      int
@@ -35,8 +36,6 @@ type HorizonResult struct {
 	// DeltaVsAverage maps classifier name -> per-h delta against Average
 	// (Figs. 10 and 12).
 	DeltaVsAverage LiftCurves
-	// Sweep retains the raw records for downstream analyses.
-	Sweep *forecast.Result
 }
 
 // RunHorizonExperiment evaluates all eight models across the horizon grid
@@ -49,7 +48,12 @@ func RunHorizonExperiment(env *Env, target forecast.Target) (*HorizonResult, err
 	if target == forecast.BecomeHot {
 		scale.TCount *= 2
 	}
-	res, err := forecast.Sweep(env.Ctx, forecast.SweepConfig{
+	// Accumulate lifts per (model, h) straight off the record stream —
+	// records arrive in deterministic grid order, so the per-cell lift
+	// slices match what Result.LiftsByModelH produced from a buffered
+	// sweep.
+	byModel := map[string]map[int][]float64{}
+	err := forecast.SweepStream(env.Ctx, forecast.SweepConfig{
 		Models:        forecast.AllModels(),
 		Target:        target,
 		Ts:            scale.Ts(),
@@ -57,12 +61,22 @@ func RunHorizonExperiment(env *Env, target forecast.Target) (*HorizonResult, err
 		Ws:            []int{w},
 		RandomRepeats: scale.RandomRepeats,
 		Workers:       scale.Workers,
+	}, func(rec forecast.Record) error {
+		if rec.W != w || math.IsNaN(rec.Lift) {
+			return nil
+		}
+		byH, ok := byModel[rec.Model]
+		if !ok {
+			byH = map[int][]float64{}
+			byModel[rec.Model] = byH
+		}
+		byH[rec.H] = append(byH[rec.H], rec.Lift)
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	out := &HorizonResult{Target: target, W: w, Curves: LiftCurves{}, DeltaVsAverage: LiftCurves{}, Sweep: res}
-	byModel := res.LiftsByModelH(w)
+	out := &HorizonResult{Target: target, W: w, Curves: LiftCurves{}, DeltaVsAverage: LiftCurves{}}
 	// Each model's bootstrap stream is keyed by its name, so the CIs are
 	// independent of both map-iteration order and scheduling. (The previous
 	// sequential code shared one RNG across a map range — nondeterministic.)
@@ -219,7 +233,10 @@ func RunWindowExperiment(env *Env, target forecast.Target) (*WindowResult, error
 		hs = env.Scale.Hs
 	}
 	model := forecast.NewRFF1()
-	res, err := forecast.Sweep(env.Ctx, forecast.SweepConfig{
+	// Accumulate lift-vs-w per horizon off the record stream (matches
+	// Result.LiftsByModelW on a buffered sweep).
+	byHW := map[int]map[int][]float64{}
+	err := forecast.SweepStream(env.Ctx, forecast.SweepConfig{
 		Models:        []forecast.Model{model},
 		Target:        target,
 		Ts:            env.Scale.Ts(),
@@ -227,14 +244,24 @@ func RunWindowExperiment(env *Env, target forecast.Target) (*WindowResult, error
 		Ws:            env.Scale.Ws,
 		RandomRepeats: env.Scale.RandomRepeats,
 		Workers:       env.Scale.Workers,
+	}, func(rec forecast.Record) error {
+		if rec.Model != model.Name() || math.IsNaN(rec.Lift) {
+			return nil
+		}
+		byW, ok := byHW[rec.H]
+		if !ok {
+			byW = map[int][]float64{}
+			byHW[rec.H] = byW
+		}
+		byW[rec.W] = append(byW[rec.W], rec.Lift)
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	out := &WindowResult{Target: target, Model: model.Name(), CurvesByH: map[int][]LiftPoint{}}
 	curves, err := parallel.Map(env.Scale.Workers, hs, func(_ int, h int) ([]LiftPoint, error) {
-		byW := res.LiftsByModelW(model.Name(), h)
-		return aggregateCurve(byW, curveRNG(env.Scale.Seed, 0xc2, "window", fmt.Sprintf("h=%d", h))), nil
+		return aggregateCurve(byHW[h], curveRNG(env.Scale.Seed, 0xc2, "window", fmt.Sprintf("h=%d", h))), nil
 	})
 	if err != nil {
 		return nil, err
@@ -317,7 +344,16 @@ func RunStabilityExperiment(env *Env, target forecast.Target) (*StabilityResult,
 		forecast.RandomModel{}, forecast.PersistModel{}, forecast.AverageModel{},
 		forecast.TrendModel{}, forecast.NewRFF1(),
 	}
-	res, err := forecast.Sweep(env.Ctx, forecast.SweepConfig{
+	// This is the one experiment that sweeps the full 36-day t axis, so the
+	// psi halves are accumulated off the record stream instead of buffering
+	// every record; per-series order matches Result.PsiSeries on a
+	// buffered sweep because records arrive in grid order.
+	type pair struct {
+		model string
+		h     int
+	}
+	halves := map[pair]*[2][]float64{}
+	err := forecast.SweepStream(env.Ctx, forecast.SweepConfig{
 		Models:        models,
 		Target:        target,
 		Ts:            ts,
@@ -325,15 +361,27 @@ func RunStabilityExperiment(env *Env, target forecast.Target) (*StabilityResult,
 		Ws:            []int{7},
 		RandomRepeats: env.Scale.RandomRepeats,
 		Workers:       env.Scale.Workers,
+	}, func(rec forecast.Record) error {
+		if math.IsNaN(rec.Psi) {
+			return nil
+		}
+		p := pair{rec.Model, rec.H}
+		hv, ok := halves[p]
+		if !ok {
+			hv = &[2][]float64{}
+			halves[p] = hv
+		}
+		if rec.T <= 69 {
+			hv[0] = append(hv[0], rec.Psi)
+		} else {
+			hv[1] = append(hv[1], rec.Psi)
+		}
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	out := &StabilityResult{Target: target}
-	type pair struct {
-		model string
-		h     int
-	}
 	var pairs []pair
 	for _, m := range models {
 		for _, h := range hs {
@@ -341,8 +389,10 @@ func RunStabilityExperiment(env *Env, target forecast.Target) (*StabilityResult,
 		}
 	}
 	cells, err := parallel.Map(env.Scale.Workers, pairs, func(_ int, p pair) (StabilityCell, error) {
-		first := res.PsiSeries(p.model, func(r forecast.Record) bool { return r.H == p.h && r.T <= 69 })
-		second := res.PsiSeries(p.model, func(r forecast.Record) bool { return r.H == p.h && r.T >= 70 })
+		var first, second []float64
+		if hv, ok := halves[p]; ok {
+			first, second = hv[0], hv[1]
+		}
 		ks := stats.KSTwoSample(first, second)
 		return StabilityCell{Model: p.model, H: p.h, W: 7, PValue: ks.PValue, N1: ks.N1, N2: ks.N2}, nil
 	})

@@ -1,0 +1,173 @@
+// Package featcache is the shared feature-matrix store behind the sweep
+// engine's plan-then-execute pipeline. The Table III sweep evaluates every
+// model over a (t, h, w) grid, and many grid points consume the identical
+// feature matrix — the prediction matrix at end day t is shared by every
+// horizon, and a training block at end day t-h-d is shared along the
+// anti-diagonals of the (t, h) plane — so sweep cost should scale with the
+// number of distinct (extractor, end, w) builds, not with grid size.
+//
+// Two pieces deliver that:
+//
+//   - Cache: a byte-budgeted LRU of immutable matrices with single-flight
+//     builds, so concurrent grid points that need the same matrix build it
+//     exactly once and share the result.
+//   - Plan (Compile/Warm): a compiler that turns a sweep grid into its set
+//     of distinct builds, ordered by demand, and executes them once through
+//     the shared worker pool before evaluation starts.
+//
+// Feature extraction is deterministic per (sector, end, w), so serving a
+// cached matrix is bit-identical to rebuilding it; the forecast package's
+// determinism tests enforce cached == uncached end to end.
+package featcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies one distinct matrix build: the extractor name, the
+// exclusive end day of the feature window and the window length in days.
+// Matrices always cover every sector, so the sector axis is not part of
+// the key (subset builds bypass the cache).
+type Key struct {
+	// Extractor is the representation name (features.Extractor.Name).
+	Extractor string
+	// End is the exclusive end day of the feature window.
+	End int
+	// W is the window length in days.
+	W int
+}
+
+// Matrix is an immutable row-major feature matrix handle. Holders must not
+// write through Data: the same backing array is shared by every grid point
+// (and every worker) that agrees on the Key.
+type Matrix struct {
+	Data  []float64 // len = Rows*Width
+	Rows  int
+	Width int
+}
+
+// Bytes is the memory the matrix payload occupies.
+func (m *Matrix) Bytes() int64 { return int64(len(m.Data)) * 8 }
+
+// Stats is a point-in-time cache counter snapshot.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// Oversize counts built matrices too large to cache at all.
+	Oversize uint64
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+}
+
+// Cache is a byte-budgeted LRU of feature matrices with single-flight
+// builds. All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	max      int64 // <= 0 means unbounded
+	bytes    int64
+	ll       *list.List // front = most recently used
+	entries  map[Key]*list.Element
+	building map[Key]*buildCall
+	stats    Stats
+}
+
+type lruEntry struct {
+	key Key
+	m   *Matrix
+}
+
+type buildCall struct {
+	done chan struct{}
+	m    *Matrix
+	err  error
+}
+
+// New returns a cache bounded to maxBytes of matrix payload (<= 0 means
+// unbounded).
+func New(maxBytes int64) *Cache {
+	return &Cache{
+		max:      maxBytes,
+		ll:       list.New(),
+		entries:  map[Key]*list.Element{},
+		building: map[Key]*buildCall{},
+	}
+}
+
+// MaxBytes returns the configured byte budget (<= 0 means unbounded).
+func (c *Cache) MaxBytes() int64 { return c.max }
+
+// GetOrBuild returns the matrix for key, building it with build on a miss.
+// Concurrent callers for the same key share one build (single flight): the
+// first caller builds, the rest block and receive the same handle. Build
+// errors are not cached — the next caller retries.
+func (c *Cache) GetOrBuild(key Key, build func() (*Matrix, error)) (*Matrix, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		m := el.Value.(*lruEntry).m
+		c.mu.Unlock()
+		return m, nil
+	}
+	if call, ok := c.building[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.m, call.err
+	}
+	call := &buildCall{done: make(chan struct{})}
+	c.building[key] = call
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	call.m, call.err = build()
+
+	c.mu.Lock()
+	delete(c.building, key)
+	if call.err == nil {
+		c.insert(key, call.m)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.m, call.err
+}
+
+// insert stores a freshly built matrix, evicting least-recently-used
+// entries until the byte budget holds. A matrix larger than the whole
+// budget is served but never stored. Callers hold c.mu.
+func (c *Cache) insert(key Key, m *Matrix) {
+	if c.max > 0 && m.Bytes() > c.max {
+		c.stats.Oversize++
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&lruEntry{key: key, m: m})
+	c.bytes += m.Bytes()
+	for c.max > 0 && c.bytes > c.max {
+		back := c.ll.Back()
+		victim := back.Value.(*lruEntry)
+		c.ll.Remove(back)
+		delete(c.entries, victim.key)
+		c.bytes -= victim.m.Bytes()
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.Bytes = c.bytes
+	s.MaxBytes = c.max
+	return s
+}
+
+// Len returns the number of cached matrices.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

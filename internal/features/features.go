@@ -344,10 +344,16 @@ func sanitize(v float64) float64 {
 }
 
 // BuildMatrix extracts features for several (sector, end-day) instances into
-// one row-major matrix suitable for mltree.
+// one row-major matrix suitable for mltree. Empty instance slices yield an
+// empty matrix (width still reported), not an error.
 func BuildMatrix(v *View, ex Extractor, sectors []int, ends []int, w int) ([]float64, int, error) {
 	if len(sectors) != len(ends) {
 		return nil, 0, fmt.Errorf("features: %d sectors vs %d end days", len(sectors), len(ends))
+	}
+	if w < 1 {
+		// Checked before sizing the matrix: a negative w would make the
+		// extractor report a negative width and panic the allocation.
+		return nil, 0, fmt.Errorf("features: window %d < 1", w)
 	}
 	width := ex.Width(v, w)
 	out := make([]float64, len(sectors)*width)
@@ -356,6 +362,23 @@ func BuildMatrix(v *View, ex Extractor, sectors []int, ends []int, w int) ([]flo
 			return nil, 0, err
 		}
 		ex.Extract(v, sectors[r], ends[r], w, out[r*width:(r+1)*width])
+	}
+	return out, width, nil
+}
+
+// BuildAllSectors extracts features for every sector over the same window
+// (w days ending exclusively at day end) — the uniform build the feature
+// cache stores and shares between grid points. It is value-identical to
+// BuildMatrix over sectors 0..n-1 with a constant end day.
+func BuildAllSectors(v *View, ex Extractor, end, w int) ([]float64, int, error) {
+	if err := CheckWindow(v, end, w); err != nil {
+		return nil, 0, err
+	}
+	n := v.Sectors()
+	width := ex.Width(v, w)
+	out := make([]float64, n*width)
+	for i := 0; i < n; i++ {
+		ex.Extract(v, i, end, w, out[i*width:(i+1)*width])
 	}
 	return out, width, nil
 }

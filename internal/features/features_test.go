@@ -248,6 +248,103 @@ func TestBuildMatrixErrors(t *testing.T) {
 	}
 }
 
+// TestBuildMatrixWindowExceedsHistory: windows reaching before day 0 or
+// past the last day must error for every extractor, not read out of range.
+func TestBuildMatrixWindowExceedsHistory(t *testing.T) {
+	v := tinyView(t) // 14 days
+	days := v.Hours() / timegrid.HoursPerDay
+	for _, ex := range []Extractor{Raw{}, Percentiles{}, HandCrafted{}} {
+		// w exceeds the history available before end=3.
+		if _, _, err := BuildMatrix(v, ex, []int{0}, []int{3}, 4); err == nil {
+			t.Fatalf("%s: window past day 0 accepted", ex.Name())
+		}
+		// end beyond the grid.
+		if _, _, err := BuildMatrix(v, ex, []int{0}, []int{days + 1}, 1); err == nil {
+			t.Fatalf("%s: end day beyond grid accepted", ex.Name())
+		}
+		// Zero-length and negative windows.
+		if _, _, err := BuildMatrix(v, ex, []int{0}, []int{3}, 0); err == nil {
+			t.Fatalf("%s: w=0 accepted", ex.Name())
+		}
+		if _, _, err := BuildMatrix(v, ex, []int{0}, []int{3}, -1); err == nil {
+			t.Fatalf("%s: w=-1 accepted", ex.Name())
+		}
+		// The largest valid window at the last day still works.
+		if _, _, err := BuildMatrix(v, ex, []int{0}, []int{days}, days); err != nil {
+			t.Fatalf("%s: full-history window rejected: %v", ex.Name(), err)
+		}
+	}
+}
+
+// TestBuildMatrixEmptyInstances: empty sector/end slices produce an empty
+// matrix with the extractor's width still reported, not an error — callers
+// (degenerate training subsets) rely on the distinction.
+func TestBuildMatrixEmptyInstances(t *testing.T) {
+	v := tinyView(t)
+	for _, ex := range []Extractor{Raw{}, Percentiles{}, HandCrafted{}} {
+		x, width, err := BuildMatrix(v, ex, nil, nil, 2)
+		if err != nil {
+			t.Fatalf("%s: empty build errored: %v", ex.Name(), err)
+		}
+		if len(x) != 0 {
+			t.Fatalf("%s: empty build returned %d values", ex.Name(), len(x))
+		}
+		if width != ex.Width(v, 2) {
+			t.Fatalf("%s: width = %d, want %d", ex.Name(), width, ex.Width(v, 2))
+		}
+	}
+}
+
+// TestBuildMatrixWidthConsistency: the reported width must match the
+// extractor's contract for every window length, so row slicing can never
+// misalign.
+func TestBuildMatrixWidthConsistency(t *testing.T) {
+	v := tinyView(t)
+	for _, ex := range []Extractor{Raw{}, Percentiles{}, HandCrafted{}} {
+		for _, w := range []int{1, 2, 7} {
+			x, width, err := BuildMatrix(v, ex, []int{0, 1}, []int{7, 9}, w)
+			if err != nil {
+				t.Fatalf("%s w=%d: %v", ex.Name(), w, err)
+			}
+			if width != ex.Width(v, w) {
+				t.Fatalf("%s w=%d: width %d != contract %d", ex.Name(), w, width, ex.Width(v, w))
+			}
+			if len(x) != 2*width {
+				t.Fatalf("%s w=%d: %d values for 2 rows of width %d", ex.Name(), w, len(x), width)
+			}
+		}
+	}
+}
+
+// TestBuildAllSectorsMatchesBuildMatrix: the cache's uniform build must be
+// value-identical to the general path over all sectors at one end day.
+func TestBuildAllSectorsMatchesBuildMatrix(t *testing.T) {
+	v := tinyView(t)
+	for _, ex := range []Extractor{Raw{}, Percentiles{}, HandCrafted{}} {
+		sectors := []int{0, 1}
+		ends := []int{5, 5}
+		want, wantWidth, err := BuildMatrix(v, ex, sectors, ends, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotWidth, err := BuildAllSectors(v, ex, 5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotWidth != wantWidth || len(got) != len(want) {
+			t.Fatalf("%s: shape %d/%d vs %d/%d", ex.Name(), len(got), gotWidth, len(want), wantWidth)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: value %d differs: %v vs %v", ex.Name(), i, got[i], want[i])
+			}
+		}
+	}
+	if _, _, err := BuildAllSectors(v, Raw{}, 1, 5); err == nil {
+		t.Fatal("invalid window accepted")
+	}
+}
+
 func TestExtractorsOnSyntheticData(t *testing.T) {
 	cfg := simnet.DefaultConfig()
 	cfg.Sectors = 40

@@ -7,6 +7,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/mltree"
 	"repro/internal/randx"
+	"repro/internal/tensor"
 )
 
 // ClassifierModel wraps a tree learner over one of the paper's feature
@@ -68,6 +69,91 @@ func (m *ClassifierModel) setImportances(imp []float64) {
 	m.mu.Unlock()
 }
 
+// featureModel is implemented by models whose grid-point cost is dominated
+// by feature extraction; the sweep planner discovers their extractors to
+// prewarm the shared matrix cache. Models that cannot share all-sector
+// matrices (e.g. a sector-subset ablation) return nil.
+type featureModel interface {
+	featureExtractor() features.Extractor
+}
+
+// featureExtractor implements the sweep planner's discovery hook. Subset
+// models train on bespoke rows and bypass the all-sector cache.
+func (m *ClassifierModel) featureExtractor() features.Extractor {
+	if m.SectorSubset != nil {
+		return nil
+	}
+	return m.Extractor
+}
+
+// trainingLabels assembles the Eq. 7 training labels: TrainDays stacked
+// label days t, t-1, ..., ordered day-major then sector, matching the row
+// order of the training matrix.
+func trainingLabels(c *Context, y *tensor.Matrix, trainSectors []int, t int) (labels []int, positives int) {
+	labels = make([]int, 0, c.TrainDays*len(trainSectors))
+	for d := 0; d < c.TrainDays; d++ {
+		labelDay := t - d
+		for _, i := range trainSectors {
+			cls := 0
+			if y.At(i, labelDay) > 0 {
+				cls = 1
+				positives++
+			}
+			labels = append(labels, cls)
+		}
+	}
+	return labels, positives
+}
+
+// trainingInstances assembles the Eq. 7 training rows — TrainDays blocks,
+// day-major then sector, feature windows ending h days before each label
+// day — the one place the row-ordering convention lives (trainingLabels
+// and the cached block order in trainingMatrix must match it).
+func trainingInstances(c *Context, trainSectors []int, t, h int) (sectors, ends []int) {
+	sectors = make([]int, 0, c.TrainDays*len(trainSectors))
+	ends = make([]int, 0, c.TrainDays*len(trainSectors))
+	for d := 0; d < c.TrainDays; d++ {
+		for _, i := range trainSectors {
+			sectors = append(sectors, i)
+			ends = append(ends, t-d-h)
+		}
+	}
+	return sectors, ends
+}
+
+// trainingMatrix builds the Eq. 7 training matrix for all sectors: one
+// all-sector block per training day d, at end day t-h-d, copied into a
+// contiguous matrix. Each block is a shared immutable cache handle — the
+// same bytes every grid point on the (t-h) anti-diagonal consumes — so
+// only the copy is per-point work. With the cache disabled it extracts
+// straight into one slab (the pre-cache path) instead of paying per-day
+// temporaries plus a copy.
+func trainingMatrix(c *Context, ex features.Extractor, t, h, w int) ([]float64, int, error) {
+	if c.FeatureCache() == nil {
+		n := c.Sectors()
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		sectors, ends := trainingInstances(c, all, t, h)
+		return features.BuildMatrix(c.View, ex, sectors, ends, w)
+	}
+	var x []float64
+	width := 0
+	for d := 0; d < c.TrainDays; d++ {
+		mat, err := c.FeatureMatrix(ex, t-d-h, w)
+		if err != nil {
+			return nil, 0, err
+		}
+		if x == nil {
+			width = mat.Width
+			x = make([]float64, c.TrainDays*len(mat.Data))
+		}
+		copy(x[d*len(mat.Data):], mat.Data)
+	}
+	return x, width, nil
+}
+
 // Forecast implements Model: fit per Eq. 7, predict per Eq. 6.
 func (m *ClassifierModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
 	if err := c.CheckTask(t, h, w); err != nil {
@@ -77,30 +163,15 @@ func (m *ClassifierModel) Forecast(c *Context, target Target, t, h, w int) ([]fl
 	y := c.Labels(target)
 
 	// Assemble the training set: TrainDays label days, h-delayed windows.
+	allSectors := m.SectorSubset == nil
 	trainSectors := m.SectorSubset
-	if trainSectors == nil {
+	if allSectors {
 		trainSectors = make([]int, n)
 		for i := range trainSectors {
 			trainSectors[i] = i
 		}
 	}
-	var sectors, ends []int
-	var labels []int
-	positives := 0
-	for d := 0; d < c.TrainDays; d++ {
-		labelDay := t - d
-		end := labelDay - h // exclusive end of the feature window
-		for _, i := range trainSectors {
-			sectors = append(sectors, i)
-			ends = append(ends, end)
-			cls := 0
-			if y.At(i, labelDay) > 0 {
-				cls = 1
-				positives++
-			}
-			labels = append(labels, cls)
-		}
-	}
+	labels, positives := trainingLabels(c, y, trainSectors, t)
 	if positives == 0 || positives == len(labels) {
 		// Degenerate training day(s): fall back to the strongest baseline
 		// ranking rather than fitting a single-class model. The paper's
@@ -109,7 +180,17 @@ func (m *ClassifierModel) Forecast(c *Context, target Target, t, h, w int) ([]fl
 		return (AverageModel{}).Forecast(c, target, t, h, w)
 	}
 
-	x, width, err := features.BuildMatrix(c.View, m.Extractor, sectors, ends, w)
+	var x []float64
+	var width int
+	var err error
+	if allSectors {
+		x, width, err = trainingMatrix(c, m.Extractor, t, h, w)
+	} else {
+		// Subset rows are bespoke; build them directly, bypassing the
+		// all-sector cache.
+		sectors, ends := trainingInstances(c, trainSectors, t, h)
+		x, width, err = features.BuildMatrix(c.View, m.Extractor, sectors, ends, w)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("forecast: building training matrix: %w", err)
 	}
@@ -144,20 +225,17 @@ func (m *ClassifierModel) Forecast(c *Context, target Target, t, h, w int) ([]fl
 		predict = forest.PredictProba
 	}
 
-	// Predict for every sector from the window ending at t (Eq. 6).
-	predSectors := make([]int, n)
-	predEnds := make([]int, n)
-	for i := 0; i < n; i++ {
-		predSectors[i] = i
-		predEnds[i] = t
-	}
-	px, _, err := features.BuildMatrix(c.View, m.Extractor, predSectors, predEnds, w)
+	// Predict for every sector from the window ending at t (Eq. 6). The
+	// prediction matrix depends only on (extractor, t, w), so every horizon
+	// at this (t, w) shares one cached build; prediction reads the handle
+	// in place, no copy.
+	pmat, err := c.FeatureMatrix(m.Extractor, t, w)
 	if err != nil {
 		return nil, fmt.Errorf("forecast: building prediction matrix: %w", err)
 	}
 	out := make([]float64, n)
 	for i := 0; i < n; i++ {
-		out[i] = predict(px[i*width : (i+1)*width])[1]
+		out[i] = predict(pmat.Data[i*width : (i+1)*width])[1]
 	}
 	return out, nil
 }

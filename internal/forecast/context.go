@@ -7,12 +7,18 @@ package forecast
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/featcache"
 	"repro/internal/features"
 	"repro/internal/score"
 	"repro/internal/tensor"
 	"repro/internal/timegrid"
 )
+
+// DefaultCacheBytes is the feature-matrix cache budget used when
+// Context.CacheBytes is zero: 256 MiB.
+const DefaultCacheBytes int64 = 256 << 20
 
 // Target selects which binary variable is being forecast.
 type Target int
@@ -56,6 +62,15 @@ type Context struct {
 	FitWorkers int
 	// Seed drives every stochastic model component.
 	Seed uint64
+	// CacheBytes bounds the shared feature-matrix cache (an LRU by byte
+	// budget, see internal/featcache): 0 selects DefaultCacheBytes, a
+	// negative value disables caching entirely. Reconfigure only between
+	// sweeps, never while one is running.
+	CacheBytes int64
+
+	cacheMu    sync.Mutex
+	cache      *featcache.Cache
+	cacheLimit int64
 }
 
 // NewContext assembles a Context from a scored dataset.
@@ -107,6 +122,46 @@ func (c *Context) CheckTask(t, h, w int) error {
 		return fmt.Errorf("forecast: evaluation day t+h=%d outside grid of %d days", t+h, c.Days())
 	}
 	return nil
+}
+
+// FeatureCache returns the shared feature-matrix cache, creating it on
+// first use; nil when CacheBytes is negative. Changing CacheBytes between
+// sweeps replaces the cache with a freshly budgeted (empty) one.
+func (c *Context) FeatureCache() *featcache.Cache {
+	if c.CacheBytes < 0 {
+		return nil
+	}
+	limit := c.CacheBytes
+	if limit == 0 {
+		limit = DefaultCacheBytes
+	}
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if c.cache == nil || c.cacheLimit != limit {
+		c.cache = featcache.New(limit)
+		c.cacheLimit = limit
+	}
+	return c.cache
+}
+
+// FeatureMatrix returns the all-sector feature matrix for windows of w
+// days ending (exclusive) at day end, through the shared cache when one is
+// enabled. The handle is immutable and may be shared by concurrent grid
+// points; extraction is deterministic, so a cached matrix is bit-identical
+// to a fresh build.
+func (c *Context) FeatureMatrix(ex features.Extractor, end, w int) (*featcache.Matrix, error) {
+	build := func() (*featcache.Matrix, error) {
+		data, width, err := features.BuildAllSectors(c.View, ex, end, w)
+		if err != nil {
+			return nil, err
+		}
+		return &featcache.Matrix{Data: data, Rows: c.Sectors(), Width: width}, nil
+	}
+	cache := c.FeatureCache()
+	if cache == nil {
+		return build()
+	}
+	return cache.GetOrBuild(featcache.Key{Extractor: ex.Name(), End: end, W: w}, build)
 }
 
 // Model is a hot-spot forecaster. Given the data available at day t it

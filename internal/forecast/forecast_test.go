@@ -2,6 +2,7 @@ package forecast
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/score"
@@ -188,8 +189,34 @@ func TestSweepValidation(t *testing.T) {
 	if _, err := Sweep(c, SweepConfig{}); err == nil {
 		t.Fatal("empty sweep accepted")
 	}
-	if _, err := Sweep(c, SweepConfig{Models: []Model{RandomModel{}}, Ts: []int{2}, Hs: []int{1}, Ws: []int{7}}); err == nil {
+	if _, err := Sweep(c, SweepConfig{Models: []Model{RandomModel{}}, Ts: []int{2}, Hs: []int{1}, Ws: []int{7}, RandomRepeats: 1}); err == nil {
 		t.Fatal("invalid grid point accepted")
+	}
+	valid := SweepConfig{Models: []Model{RandomModel{}}, Ts: []int{20}, Hs: []int{1}, Ws: []int{7}, RandomRepeats: 1}
+	if _, err := Sweep(c, valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	// RandomRepeats < 1 used to be silently clamped to 1; it is now an
+	// explicit error (the chance-level psi would be undefined).
+	bad := valid
+	bad.RandomRepeats = 0
+	if _, err := Sweep(c, bad); err == nil || !strings.Contains(err.Error(), "RandomRepeats") {
+		t.Fatalf("RandomRepeats=0 accepted (err=%v)", err)
+	}
+	// Duplicate grid values double-count points in every aggregation.
+	for _, tc := range []struct {
+		name string
+		mut  func(*SweepConfig)
+	}{
+		{"t", func(s *SweepConfig) { s.Ts = []int{20, 20} }},
+		{"h", func(s *SweepConfig) { s.Hs = []int{1, 2, 1} }},
+		{"w", func(s *SweepConfig) { s.Ws = []int{7, 7} }},
+	} {
+		dup := valid
+		tc.mut(&dup)
+		if _, err := Sweep(c, dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+			t.Fatalf("duplicate %s accepted (err=%v)", tc.name, err)
+		}
 	}
 }
 

@@ -28,35 +28,26 @@ func NewGBT() *GBTModel {
 // Name implements Model.
 func (m *GBTModel) Name() string { return "GBT-F1" }
 
+// featureExtractor implements the sweep planner's discovery hook.
+func (m *GBTModel) featureExtractor() features.Extractor { return m.Extractor }
+
 // Forecast implements Model with the same Eq. 6/7 protocol as the paper's
-// classifiers.
+// classifiers, over the shared feature-matrix cache.
 func (m *GBTModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
 	if err := c.CheckTask(t, h, w); err != nil {
 		return nil, err
 	}
 	n := c.Sectors()
 	y := c.Labels(target)
-	var sectors, ends []int
-	var labels []int
-	positives := 0
-	for d := 0; d < c.TrainDays; d++ {
-		labelDay := t - d
-		end := labelDay - h
-		for i := 0; i < n; i++ {
-			sectors = append(sectors, i)
-			ends = append(ends, end)
-			cls := 0
-			if y.At(i, labelDay) > 0 {
-				cls = 1
-				positives++
-			}
-			labels = append(labels, cls)
-		}
+	trainSectors := make([]int, n)
+	for i := range trainSectors {
+		trainSectors[i] = i
 	}
+	labels, positives := trainingLabels(c, y, trainSectors, t)
 	if positives == 0 || positives == len(labels) {
 		return (AverageModel{}).Forecast(c, target, t, h, w)
 	}
-	x, width, err := features.BuildMatrix(c.View, m.Extractor, sectors, ends, w)
+	x, width, err := trainingMatrix(c, m.Extractor, t, h, w)
 	if err != nil {
 		return nil, fmt.Errorf("forecast: building GBT training matrix: %w", err)
 	}
@@ -67,19 +58,13 @@ func (m *GBTModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, 
 	if err != nil {
 		return nil, fmt.Errorf("forecast: fitting GBT: %w", err)
 	}
-	predSectors := make([]int, n)
-	predEnds := make([]int, n)
-	for i := 0; i < n; i++ {
-		predSectors[i] = i
-		predEnds[i] = t
-	}
-	px, _, err := features.BuildMatrix(c.View, m.Extractor, predSectors, predEnds, w)
+	pmat, err := c.FeatureMatrix(m.Extractor, t, w)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]float64, n)
 	for i := 0; i < n; i++ {
-		out[i] = g.PredictProba(px[i*width : (i+1)*width])[1]
+		out[i] = g.PredictProba(pmat.Data[i*width : (i+1)*width])[1]
 	}
 	return out, nil
 }

@@ -3,8 +3,11 @@ package forecast
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/eval"
+	"repro/internal/featcache"
+	"repro/internal/features"
 	"repro/internal/parallel"
 	"repro/internal/randx"
 )
@@ -54,44 +57,182 @@ type Result struct {
 	Records []Record
 }
 
-// Sweep evaluates every model at every (t, h, w) grid point. Points whose
-// evaluation day has no positive labels yield Psi = NaN and are retained
-// (aggregations skip NaNs). The sweep is deterministic for a fixed
-// Context.Seed.
-func Sweep(c *Context, cfg SweepConfig) (*Result, error) {
+// CSVHeader is the column set of Record.CSVRow, shared by every CSV sink
+// (hotbench, hotforecast) so the formats cannot drift apart.
+func CSVHeader() []string {
+	return []string{"model", "target", "t", "h", "w", "psi", "psi_random", "lift", "positives"}
+}
+
+// CSVRow renders the record as one CSV row matching CSVHeader. Floats use
+// the shortest round-trip form; NaN (no positives at the point) prints as
+// "NaN".
+func (r Record) CSVRow() []string {
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return []string{
+		r.Model, r.Target.String(),
+		strconv.Itoa(r.T), strconv.Itoa(r.H), strconv.Itoa(r.W),
+		ff(r.Psi), ff(r.PsiRandom), ff(r.Lift), strconv.Itoa(r.Positives),
+	}
+}
+
+// CacheBytesMB maps a CLI-style cache budget in MiB — where 0 or negative
+// means "disable caching" — to Context.CacheBytes semantics (where 0 means
+// the library default and negative disables).
+func CacheBytesMB(mb int) int64 {
+	if mb <= 0 {
+		return -1
+	}
+	return int64(mb) << 20
+}
+
+// Validate rejects configurations that would silently produce wrong or
+// meaningless records: no models, an empty grid axis, fewer than one
+// psi-random repetition (the lift denominator would be undefined), or
+// duplicate grid values (which would double-count points in every
+// aggregation).
+func (cfg SweepConfig) Validate() error {
 	if len(cfg.Models) == 0 {
-		return nil, fmt.Errorf("forecast: sweep with no models")
+		return fmt.Errorf("forecast: sweep with no models")
 	}
 	if len(cfg.Ts) == 0 || len(cfg.Hs) == 0 || len(cfg.Ws) == 0 {
-		return nil, fmt.Errorf("forecast: empty sweep grid")
+		return fmt.Errorf("forecast: empty sweep grid")
 	}
 	if cfg.RandomRepeats < 1 {
-		cfg.RandomRepeats = 1
+		return fmt.Errorf("forecast: RandomRepeats = %d, need >= 1 random ranking per grid point for the chance-level psi", cfg.RandomRepeats)
 	}
-	type point struct{ t, h, w int }
-	var points []point
+	for _, axis := range []struct {
+		name string
+		vals []int
+	}{{"t", cfg.Ts}, {"h", cfg.Hs}, {"w", cfg.Ws}} {
+		seen := make(map[int]bool, len(axis.vals))
+		for _, v := range axis.vals {
+			if seen[v] {
+				return fmt.Errorf("forecast: duplicate %s=%d in sweep grid (would double-count the point in every aggregation)", axis.name, v)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// gridPoint is one (t, h, w) cell of the sweep grid.
+type gridPoint struct{ t, h, w int }
+
+// gridPoints enumerates the grid in deterministic t-major order.
+func (cfg SweepConfig) gridPoints() []gridPoint {
+	points := make([]gridPoint, 0, len(cfg.Ts)*len(cfg.Hs)*len(cfg.Ws))
 	for _, t := range cfg.Ts {
 		for _, h := range cfg.Hs {
 			for _, w := range cfg.Ws {
-				points = append(points, point{t, h, w})
+				points = append(points, gridPoint{t, h, w})
 			}
 		}
 	}
+	return points
+}
+
+// SweepStream evaluates every model at every (t, h, w) grid point and
+// hands each Record to emit — in the deterministic grid order (t, h, w)
+// major, model minor — as soon as its point completes, without buffering
+// the whole grid. emit runs on the calling goroutine only; returning an
+// error from it stops the sweep. Points whose evaluation day has no
+// positive labels yield Psi = NaN and are still emitted (aggregations
+// skip NaNs). The record sequence is bit-identical at any worker count
+// and with the feature cache on or off.
+func SweepStream(c *Context, cfg SweepConfig, emit func(Record) error) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	points := cfg.gridPoints()
+	for _, p := range points {
+		if err := c.CheckTask(p.t, p.h, p.w); err != nil {
+			return fmt.Errorf("forecast: grid point (t=%d,h=%d,w=%d): %w", p.t, p.h, p.w, err)
+		}
+	}
+	warmFeatureCache(c, cfg)
 
 	// Fan the grid out on the shared pool. evalPoint keys every RNG draw by
 	// the grid point itself, so the records are identical at any worker
-	// count; parallel.Map restores input order afterwards.
-	records, err := parallel.Map(cfg.Workers, points, func(_ int, p point) ([]Record, error) {
+	// count; parallel.Stream delivers them back in input order.
+	return parallel.Stream(cfg.Workers, points, func(_ int, p gridPoint) ([]Record, error) {
 		return evalPoint(c, cfg, p.t, p.h, p.w)
+	}, func(_ int, recs []Record) error {
+		for _, rec := range recs {
+			if err := emit(rec); err != nil {
+				return err
+			}
+		}
+		return nil
 	})
-	if err != nil {
+}
+
+// Sweep evaluates the grid and collects every record, the buffering
+// convenience wrapper over SweepStream for callers that need the whole
+// Result (aggregations over t, KS tests between halves).
+func Sweep(c *Context, cfg SweepConfig) (*Result, error) {
+	res := &Result{}
+	if err := SweepStream(c, cfg, func(rec Record) error {
+		res.Records = append(res.Records, rec)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	res := &Result{}
-	for _, recs := range records {
-		res.Records = append(res.Records, recs...)
-	}
 	return res, nil
+}
+
+// warmFeatureCache compiles the grid's distinct (extractor, end, w) matrix
+// builds and executes them once through the shared pool, so grid-point
+// evaluation starts against a hot cache instead of racing to build the
+// same matrices. Best-effort: with the cache disabled or no extractor
+// models in the sweep it is a no-op, and build errors are left for the
+// evaluation to surface in grid order.
+func warmFeatureCache(c *Context, cfg SweepConfig) {
+	cache := c.FeatureCache()
+	if cache == nil {
+		return
+	}
+	extractors := map[string]features.Extractor{}
+	var names []string
+	for _, m := range cfg.Models {
+		fm, ok := m.(featureModel)
+		if !ok {
+			continue
+		}
+		ex := fm.featureExtractor()
+		if ex == nil {
+			continue
+		}
+		if _, dup := extractors[ex.Name()]; !dup {
+			extractors[ex.Name()] = ex
+			names = append(names, ex.Name())
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	plan := featcache.Compile(featcache.Grid{
+		Ts: cfg.Ts, Hs: cfg.Hs, Ws: cfg.Ws,
+		TrainDays:  c.TrainDays,
+		Extractors: names,
+	})
+	// Warm only into the budget headroom left by earlier sweeps, so a
+	// prewarm never evicts matrices that are still hot. (Keys already
+	// resident are counted against the headroom too — conservative, but a
+	// re-warm of a hot cache has nothing useful to build anyway.)
+	budget := cache.MaxBytes()
+	if budget > 0 {
+		budget -= cache.Stats().Bytes
+		if budget <= 0 {
+			return
+		}
+	}
+	rows := int64(c.Sectors())
+	plan.Warm(cfg.Workers, budget, func(k featcache.Key) int64 {
+		return rows * int64(extractors[k.Extractor].Width(c.View, k.W)) * 8
+	}, func(k featcache.Key) error {
+		_, err := c.FeatureMatrix(extractors[k.Extractor], k.End, k.W)
+		return err
+	})
 }
 
 // evalPoint evaluates all models at one grid point.

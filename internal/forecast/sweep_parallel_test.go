@@ -1,6 +1,7 @@
 package forecast
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -84,6 +85,139 @@ func TestSweepParallelMatchesSequentialClassifiers(t *testing.T) {
 		t.Fatal(err)
 	}
 	sameRecords(t, seq, par, "classifiers")
+}
+
+// TestSweepCachedMatchesUncachedTiny is the feature-plan compiler's core
+// contract at -short cost: serving shared cached matrices must be
+// bit-identical to rebuilding per grid point, at any worker count.
+func TestSweepCachedMatchesUncachedTiny(t *testing.T) {
+	c := testContext(t, 60, 8, 25)
+	c.ForestTrees = 4
+	c.FitWorkers = 1
+	cfg := SweepConfig{
+		Models:        []Model{AverageModel{}, NewTreeModel()},
+		Target:        BeHot,
+		Ts:            []int{22, 24},
+		Hs:            []int{1, 3},
+		Ws:            []int{3},
+		RandomRepeats: 2,
+		Workers:       1,
+	}
+	c.CacheBytes = -1 // disabled: the pre-refactor build-per-point path
+	uncached, err := Sweep(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CacheBytes = 0 // default budget
+	for _, workers := range []int{1, 4} {
+		cfg.Workers = workers
+		cached, err := Sweep(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRecords(t, uncached, cached, "cached-vs-uncached")
+	}
+	if s := c.FeatureCache().Stats(); s.Hits == 0 {
+		t.Fatalf("cache never hit on an overlapping grid: %+v", s)
+	}
+}
+
+// TestSweepCachedMatchesUncached extends the cached == uncached contract
+// through the full classifier stack (forest, GBT) and a tight byte budget
+// that forces evictions mid-sweep.
+func TestSweepCachedMatchesUncached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classifier sweeps are slow")
+	}
+	c := testContext(t, 80, 8, 26)
+	c.ForestTrees = 6
+	c.FitWorkers = 1
+	gbt := NewGBT()
+	gbt.Config.Rounds = 8
+	cfg := SweepConfig{
+		Models:        []Model{NewRFF1(), NewRFF2(), gbt},
+		Target:        BeHot,
+		Ts:            []int{22, 25, 28},
+		Hs:            []int{1, 2, 3},
+		Ws:            []int{3, 7},
+		RandomRepeats: 3,
+		Workers:       1,
+	}
+	c.CacheBytes = -1
+	uncached, err := Sweep(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{0, 1 << 20} { // default, and tight enough to evict
+		c.CacheBytes = budget
+		for _, workers := range []int{1, 4} {
+			cfg.Workers = workers
+			cached, err := Sweep(c, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRecords(t, uncached, cached, "cached-vs-uncached-classifiers")
+		}
+	}
+}
+
+// TestSweepStreamMatchesSweep: the streaming API must emit exactly the
+// records Sweep collects, in the same order, at any worker count.
+func TestSweepStreamMatchesSweep(t *testing.T) {
+	c := testContext(t, 80, 8, 27)
+	cfg := SweepConfig{
+		Models:        Baselines(),
+		Target:        BeHot,
+		Ts:            []int{22, 25, 28},
+		Hs:            []int{1, 3},
+		Ws:            []int{3, 7},
+		RandomRepeats: 3,
+		Workers:       1,
+	}
+	collected, err := Sweep(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		cfg.Workers = workers
+		streamed := &Result{}
+		if err := SweepStream(c, cfg, func(rec Record) error {
+			streamed.Records = append(streamed.Records, rec)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sameRecords(t, collected, streamed, "stream-vs-collect")
+	}
+}
+
+// TestSweepStreamEmitErrorStops: an emit error cancels the sweep and
+// propagates; no records after the failing one are delivered.
+func TestSweepStreamEmitErrorStops(t *testing.T) {
+	c := testContext(t, 60, 8, 28)
+	cfg := SweepConfig{
+		Models:        Baselines(),
+		Target:        BeHot,
+		Ts:            []int{22, 24, 26, 28},
+		Hs:            []int{1, 2},
+		Ws:            []int{3},
+		RandomRepeats: 2,
+		Workers:       4,
+	}
+	seen := 0
+	err := SweepStream(c, cfg, func(Record) error {
+		seen++
+		if seen == 5 {
+			return fmt.Errorf("sink closed")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "sink closed" {
+		t.Fatalf("err = %v, want sink closed", err)
+	}
+	if seen != 5 {
+		t.Fatalf("emitted %d records after the error, want exactly 5", seen)
+	}
 }
 
 // TestSweepSpeedup measures the engine's point: on multicore hardware the

@@ -80,6 +80,113 @@ func Gather[R any](workers int, thunks []func() (R, error)) ([]R, error) {
 	})
 }
 
+// Stream applies fn to every item on a bounded pool and hands each result
+// to consume strictly in input order, as soon as the next-in-order result
+// is ready — the streaming counterpart of Map for pipelines that must not
+// buffer the whole result set. consume runs only on the calling goroutine,
+// so it may write to unsynchronised sinks (a CSV file, a progress line).
+//
+// Memory stays bounded: workers run at most a fixed window of items ahead
+// of the oldest unconsumed index, so O(workers) results are parked at any
+// time regardless of n. The first error in input order — whether from fn
+// or from consume — stops the stream (in-flight items finish, no new items
+// start) and is returned; this matches Map's lowest-index error selection
+// for errors that the stream reaches before stopping.
+func Stream[T, R any](workers int, items []T, fn func(i int, item T) (R, error), consume func(i int, r R) error) error {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			r, err := fn(i, items[i])
+			if err != nil {
+				return err
+			}
+			if err := consume(i, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	window := 4 * workers
+	if window < 16 {
+		window = 16
+	}
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		ready   = make(map[int]R)
+		failed  = make(map[int]error)
+		next    int  // next index to hand to a worker
+		floor   int  // next index to hand to consume
+		stopped bool // no new items may start
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for !stopped && next < n && next >= floor+window {
+					cond.Wait()
+				}
+				if stopped || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				r, err := fn(i, items[i])
+				mu.Lock()
+				if err != nil {
+					failed[i] = err
+				} else {
+					ready[i] = r
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+
+	var firstErr error
+	mu.Lock()
+	for floor < n {
+		r, ok := ready[floor]
+		err, bad := failed[floor]
+		if !ok && !bad {
+			cond.Wait()
+			continue
+		}
+		i := floor
+		floor++
+		delete(ready, i)
+		delete(failed, i)
+		if bad {
+			firstErr = err
+			break
+		}
+		cond.Broadcast() // the window moved: wake throttled workers
+		mu.Unlock()
+		cerr := consume(i, r)
+		mu.Lock()
+		if cerr != nil {
+			firstErr = cerr
+			break
+		}
+	}
+	stopped = true
+	cond.Broadcast()
+	mu.Unlock()
+	wg.Wait()
+	return firstErr
+}
+
 // run is the pool core: it executes body(i) for i in [0, n) on
 // Workers(workers, n) goroutines. Indices are handed out through a channel
 // so long items do not convoy behind a fixed pre-partition.

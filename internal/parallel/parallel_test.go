@@ -112,6 +112,121 @@ func TestGather(t *testing.T) {
 	}
 }
 
+func TestStreamOrderedDelivery(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		items := make([]int, 200)
+		for i := range items {
+			items[i] = i * 2
+		}
+		var got []string
+		err := Stream(workers, items, func(i, item int) (string, error) {
+			return fmt.Sprintf("%d:%d", i, item), nil
+		}, func(i int, r string) error {
+			got = append(got, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(items) {
+			t.Fatalf("workers=%d delivered %d of %d", workers, len(got), len(items))
+		}
+		for i, s := range got {
+			if want := fmt.Sprintf("%d:%d", i, i*2); s != want {
+				t.Fatalf("workers=%d got[%d] = %q, want %q", workers, i, s, want)
+			}
+		}
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	err := Stream(4, nil, func(i, item int) (int, error) { return item, nil },
+		func(int, int) error { t.Fatal("consume on empty input"); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamFirstErrorInOrder: when several items fail, the error that
+// surfaces is the first one the in-order consumer reaches, and nothing
+// after it is consumed.
+func TestStreamFirstErrorInOrder(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		consumed := -1
+		err := Stream(8, make([]int, 50), func(i, _ int) (int, error) {
+			switch i {
+			case 7, 13, 31:
+				return 0, fmt.Errorf("item %d failed", i)
+			}
+			return i, nil
+		}, func(i, _ int) error {
+			if i != consumed+1 {
+				t.Fatalf("out-of-order consumption: %d after %d", i, consumed)
+			}
+			consumed = i
+			return nil
+		})
+		if err == nil || err.Error() != "item 7 failed" {
+			t.Fatalf("trial %d: err = %v, want item 7's", trial, err)
+		}
+		if consumed != 6 {
+			t.Fatalf("trial %d: consumed through %d, want 6", trial, consumed)
+		}
+	}
+}
+
+// TestStreamConsumeErrorStops: a consume error cancels the stream and is
+// returned; workers stop picking up new items.
+func TestStreamConsumeErrorStops(t *testing.T) {
+	var started atomic.Int64
+	n := 500
+	err := Stream(4, make([]int, n), func(i, _ int) (int, error) {
+		started.Add(1)
+		return i, nil
+	}, func(i, _ int) error {
+		if i == 3 {
+			return fmt.Errorf("sink full")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "sink full" {
+		t.Fatalf("err = %v, want sink full", err)
+	}
+	if s := started.Load(); s == int64(n) {
+		t.Fatalf("all %d items ran despite early consume error", n)
+	}
+}
+
+// TestStreamBoundedWindow: workers must not run unboundedly ahead of a
+// slow consumer — in-flight work stays within the reorder window.
+func TestStreamBoundedWindow(t *testing.T) {
+	workers := 4
+	window := 16 // the implementation's floor for small worker counts
+	var maxAhead atomic.Int64
+	var floor atomic.Int64
+	err := Stream(workers, make([]int, 300), func(i, _ int) (int, error) {
+		ahead := int64(i) - floor.Load()
+		for {
+			cur := maxAhead.Load()
+			if ahead <= cur || maxAhead.CompareAndSwap(cur, ahead) {
+				break
+			}
+		}
+		return i, nil
+	}, func(i, _ int) error {
+		floor.Store(int64(i) + 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A started item can be at most window+workers ahead of the floor the
+	// worker observed (the floor may lag behind the consumer's progress).
+	if got := maxAhead.Load(); got > int64(window+workers) {
+		t.Fatalf("worker ran %d items ahead of the consumer, window is %d", got, window)
+	}
+}
+
 // TestMapSequentialFallback confirms workers=1 runs on the calling
 // goroutine (observable: iteration order is strictly ascending).
 func TestMapSequentialFallback(t *testing.T) {
