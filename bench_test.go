@@ -342,6 +342,9 @@ func BenchmarkPRCurves(b *testing.B) {
 // representations on identical windows.
 func BenchmarkAblationExtractors(b *testing.B) {
 	e := env(b)
+	prevModel := e.Ctx.ModelCacheBytes
+	e.Ctx.ModelCacheBytes = -1 // measure the full fit each iteration, not a cache hit
+	defer func() { e.Ctx.ModelCacheBytes = prevModel }()
 	for _, m := range []forecast.Model{forecast.NewRFR(), forecast.NewRFF1(), forecast.NewRFF2()} {
 		b.Run(m.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -358,6 +361,9 @@ func BenchmarkAblationExtractors(b *testing.B) {
 // higher-capacity learners help most at long range.
 func BenchmarkExtensionGBT(b *testing.B) {
 	e := env(b)
+	prevModel := e.Ctx.ModelCacheBytes
+	e.Ctx.ModelCacheBytes = -1 // measure the full fit each iteration, not a cache hit
+	defer func() { e.Ctx.ModelCacheBytes = prevModel }()
 	for _, h := range []int{1, 26} {
 		for _, m := range []forecast.Model{forecast.NewRFF1(), forecast.NewGBT()} {
 			b.Run(fmt.Sprintf("%s/h=%d", m.Name(), h), func(b *testing.B) {
@@ -386,10 +392,13 @@ func BenchmarkExtensionGBT(b *testing.B) {
 
 func BenchmarkSweepWorkers(b *testing.B) {
 	e := env(b)
-	prevFit, prevCache := e.Ctx.FitWorkers, e.Ctx.CacheBytes
-	e.Ctx.FitWorkers = 1  // isolate the sweep pool as the only lever
-	e.Ctx.CacheBytes = -1 // uncached: this bench is the pre-cache baseline
-	defer func() { e.Ctx.FitWorkers, e.Ctx.CacheBytes = prevFit, prevCache }()
+	prevFit, prevCache, prevModel := e.Ctx.FitWorkers, e.Ctx.CacheBytes, e.Ctx.ModelCacheBytes
+	e.Ctx.FitWorkers = 1       // isolate the sweep pool as the only lever
+	e.Ctx.CacheBytes = -1      // uncached: this bench is the pre-cache baseline
+	e.Ctx.ModelCacheBytes = -1 // refit per iteration: cached fits would erase the scaling signal
+	defer func() {
+		e.Ctx.FitWorkers, e.Ctx.CacheBytes, e.Ctx.ModelCacheBytes = prevFit, prevCache, prevModel
+	}()
 	counts := []int{1, 2, 4}
 	if n := runtime.NumCPU(); n > 4 {
 		counts = append(counts, n)
@@ -422,9 +431,12 @@ func BenchmarkSweepWorkers(b *testing.B) {
 // should also allocate substantially less.
 func BenchmarkSweepCached(b *testing.B) {
 	e := env(b)
-	prevFit, prevCache := e.Ctx.FitWorkers, e.Ctx.CacheBytes
+	prevFit, prevCache, prevModel := e.Ctx.FitWorkers, e.Ctx.CacheBytes, e.Ctx.ModelCacheBytes
 	e.Ctx.FitWorkers = 1
-	defer func() { e.Ctx.FitWorkers, e.Ctx.CacheBytes = prevFit, prevCache }()
+	e.Ctx.ModelCacheBytes = -1 // isolate the feature cache as the only lever
+	defer func() {
+		e.Ctx.FitWorkers, e.Ctx.CacheBytes, e.Ctx.ModelCacheBytes = prevFit, prevCache, prevModel
+	}()
 	cfg := forecast.SweepConfig{
 		Models:        []forecast.Model{forecast.NewRFF1()},
 		Target:        forecast.BeHot,
@@ -450,6 +462,46 @@ func BenchmarkSweepCached(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFitOncePredictMany measures the Fit/Predict split's point: the
+// serving loop ships one trained artifact and predicts each new day from
+// it, where the pre-split API refit the model inside every Forecast call.
+// The grid covers 4 predict days per training cutoff — the artifact fitted
+// at t=56 (cutoff 51) serves forecast days 61..64, i.e. 4 effective
+// horizons from one cutoff — so fit-once should beat fit-per-point by well
+// over 2x (one forest fit amortised over 4 predictions).
+func BenchmarkFitOncePredictMany(b *testing.B) {
+	e := env(b)
+	prevFit, prevModel := e.Ctx.FitWorkers, e.Ctx.ModelCacheBytes
+	e.Ctx.FitWorkers = 1
+	e.Ctx.ModelCacheBytes = -1 // the comparison is explicit Fit/Predict vs refit, not cache hits
+	defer func() { e.Ctx.FitWorkers, e.Ctx.ModelCacheBytes = prevFit, prevModel }()
+	model := forecast.NewRFF1()
+	const h, w = 5, 7
+	ts := []int{56, 57, 58, 59} // 4 predict days off the first artifact's cutoff
+	b.Run("fit-per-point", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, t := range ts {
+				if _, err := model.Forecast(e.Ctx, forecast.BeHot, t, h, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("fit-once", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr, err := model.Fit(e.Ctx, forecast.BeHot, ts[0], h, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, t := range ts {
+				if _, err := tr.Predict(e.Ctx, t, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------

@@ -14,6 +14,7 @@
 //	hotbench -workers 8       # bound the parallel sweep engine
 //	hotbench -cache-mb 512    # feature-matrix cache budget (0 disables)
 //	hotbench -csv sweep.csv   # stream the Table III sweep to CSV live
+//	hotbench -cpuprofile cpu.pprof -memprofile mem.pprof   # profile the run
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -57,9 +59,39 @@ func run(args []string, out io.Writer) error {
 		csvPath      = fs.String("csv", "", "stream the scale's full model sweep to this CSV file as records complete")
 		skipForecast = fs.Bool("skip-forecast", false, "run only the descriptive analyses")
 		skipImpute   = fs.Bool("skip-impute", false, "skip the Fig 5 autoencoder comparison")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile   = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Profiling hooks for perf work on the fit/predict hot path: the CPU
+	// profile covers the whole run, the heap profile snapshots live
+	// allocations (caches included) after a final GC.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the snapshot reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("writing heap profile: %v", err)
+			}
+			f.Close()
+		}()
 	}
 
 	var scale experiments.Scale
@@ -219,10 +251,17 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// Any sweep activity (forecast sections or the -csv sweep) ran against
-	// the shared feature cache; summarise its effectiveness.
+	// the shared caches; summarise their effectiveness. Trained-model hits
+	// are fits the run never repeated — experiments with overlapping grids
+	// (horizon, stability, PR curves) share artifacts through the cache.
 	if cache := env.Ctx.FeatureCache(); cache != nil && (!*skipForecast || *csvPath != "") {
 		s := cache.Stats()
 		fmt.Fprintf(out, "feature cache: %d hits, %d misses, %d evictions, %d matrices / %.1f MiB resident (budget %d MiB)\n",
+			s.Hits, s.Misses, s.Evictions, s.Entries, float64(s.Bytes)/(1<<20), s.MaxBytes>>20)
+	}
+	if cache := env.Ctx.ModelCache(); cache != nil && (!*skipForecast || *csvPath != "") {
+		s := cache.Stats()
+		fmt.Fprintf(out, "model cache: %d hits, %d misses, %d evictions, %d artifacts / %.1f MiB resident (budget %d MiB)\n",
 			s.Hits, s.Misses, s.Evictions, s.Entries, float64(s.Bytes)/(1<<20), s.MaxBytes>>20)
 	}
 	fmt.Fprintf(out, "total runtime %v\n", time.Since(start).Round(time.Second))

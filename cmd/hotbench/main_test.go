@@ -107,3 +107,31 @@ func TestRunCSVBadPath(t *testing.T) {
 		t.Fatalf("unwritable csv path accepted (err=%v)", err)
 	}
 }
+
+// TestRunProfiles: -cpuprofile/-memprofile write non-empty pprof files so
+// perf work on the fit/predict path is measurable locally.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	var buf strings.Builder
+	err := run([]string{"-scale", "tiny", "-skip-forecast", "-skip-impute", "-workers", "2",
+		"-cpuprofile", cpu, "-memprofile", mem}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+	// An unwritable profile path is an error up front, not a lost profile.
+	err = run([]string{"-scale", "tiny", "-skip-forecast", "-skip-impute",
+		"-cpuprofile", filepath.Join(dir, "no-such-dir", "cpu.pprof")}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("unwritable cpuprofile path accepted")
+	}
+}

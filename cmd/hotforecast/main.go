@@ -9,6 +9,17 @@
 //	hotforecast -workers 8      # bound the parallel sweep engine
 //	hotforecast -cache-mb 512   # feature-matrix cache budget (0 disables)
 //	hotforecast -csv sweep.csv  # stream records to CSV as they complete
+//
+// Train-once workflow (see cmd/hotserve for the serving side):
+//
+//	hotforecast -models RF-F1 -t 60 -h 7 -w 7 -model-out rf.hotm   # fit + save
+//	hotforecast -model-in rf.hotm -t 62,64                          # load + predict
+//
+// -model-out requires exactly one model, one t and one h; -model-in skips
+// training entirely and predicts from the artifact at each requested t
+// (evaluating against labels when day t+h is inside the grid). Both modes
+// need the pipeline built from the same dataset the artifact was trained
+// on (same -in file, or same -sectors/-weeks/-seed).
 package main
 
 import (
@@ -21,8 +32,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/forecast"
 	"repro/internal/mathx"
 	"repro/internal/simnet"
@@ -41,19 +54,21 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hotforecast", flag.ContinueOnError)
 	var (
-		in      = fs.String("in", "", "dataset path (empty = generate)")
-		sectors = fs.Int("sectors", 600, "sectors when generating")
-		weeks   = fs.Int("weeks", 0, "weeks when generating (0 = the paper's 18)")
-		seed    = fs.Uint64("seed", 1, "seed")
-		tsFlag  = fs.String("t", "60,70,80", "comma-separated forecast days")
-		hsFlag  = fs.String("h", "1,7,14", "comma-separated horizons")
-		wFlag   = fs.Int("w", 7, "past-window length in days")
-		target  = fs.String("target", "hot", "target: hot | become")
-		models  = fs.String("models", "", "comma-separated model subset (default: all 8)")
-		trees   = fs.Int("trees", 24, "random-forest size")
-		workers = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
-		cacheMB = fs.Int("cache-mb", 256, "feature-matrix cache budget in MiB (0 disables caching)")
-		csvPath = fs.String("csv", "", "also stream sweep records to this CSV file as they complete")
+		in       = fs.String("in", "", "dataset path (empty = generate)")
+		sectors  = fs.Int("sectors", 600, "sectors when generating")
+		weeks    = fs.Int("weeks", 0, "weeks when generating (0 = the paper's 18)")
+		seed     = fs.Uint64("seed", 1, "seed")
+		tsFlag   = fs.String("t", "60,70,80", "comma-separated forecast days")
+		hsFlag   = fs.String("h", "1,7,14", "comma-separated horizons")
+		wFlag    = fs.Int("w", 7, "past-window length in days")
+		target   = fs.String("target", "hot", "target: hot | become")
+		models   = fs.String("models", "", "comma-separated model subset (default: all 8)")
+		trees    = fs.Int("trees", 24, "random-forest size")
+		workers  = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+		cacheMB  = fs.Int("cache-mb", 256, "feature-matrix cache budget in MiB (0 disables caching)")
+		csvPath  = fs.String("csv", "", "also stream sweep records to this CSV file as they complete")
+		modelOut = fs.String("model-out", "", "train the single selected model at the single (t, h, w) and write the artifact here (skips the sweep)")
+		modelIn  = fs.String("model-in", "", "load a trained artifact and predict at each -t instead of training (skips the sweep)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,11 +89,19 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown target %q", *target)
 	}
 
+	if *modelOut != "" && *modelIn != "" {
+		return fmt.Errorf("-model-out and -model-in are mutually exclusive")
+	}
+
 	p, err := buildPipeline(*in, *sectors, *weeks, *seed, *trees, *cacheMB)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "pipeline: %d sectors, %d days (%d discarded)\n", p.Sectors(), p.Days(), p.Discarded)
+
+	if *modelIn != "" {
+		return predictFromArtifact(p, *modelIn, ts, out)
+	}
 
 	modelSet := forecast.AllModels()
 	if *models != "" {
@@ -90,6 +113,14 @@ func run(args []string, out io.Writer) error {
 			}
 			modelSet = append(modelSet, m)
 		}
+	}
+
+	if *modelOut != "" {
+		if len(modelSet) != 1 || len(ts) != 1 || len(hs) != 1 {
+			return fmt.Errorf("-model-out trains one artifact: pass exactly one -models entry, one -t and one -h (got %d/%d/%d)",
+				len(modelSet), len(ts), len(hs))
+		}
+		return trainToArtifact(p, modelSet[0], tgt, ts[0], hs[0], *wFlag, *modelOut, out)
 	}
 
 	if len(ts)*len(hs) > 1 {
@@ -155,6 +186,59 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%-10s", name)
 		for _, h := range hs {
 			fmt.Fprintf(out, "   %-6.2f", mathx.Mean(lifts[name][h]))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// trainToArtifact is the -model-out mode: fit one model at one task and
+// write the versioned artifact to disk.
+func trainToArtifact(p *core.Pipeline, m forecast.Model, tgt forecast.Target, t, h, w int, path string, out io.Writer) error {
+	start := time.Now()
+	tr, err := m.Fit(p.Ctx, tgt, t, h, w)
+	if err != nil {
+		return fmt.Errorf("training %s: %w", m.Name(), err)
+	}
+	if err := forecast.SaveModel(path, tr); err != nil {
+		return err
+	}
+	data, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trained %s (target %s, t=%d h=%d w=%d, cutoff day %d) in %v\n",
+		tr.ModelName(), tr.Target(), t, h, w, tr.Cutoff(), time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(out, "wrote %s (%d bytes); serve it with: hotserve -models %s\n", path, data.Size(), path)
+	return nil
+}
+
+// predictFromArtifact is the -model-in mode: score each requested t from
+// the loaded artifact, evaluating against labels where the forecast day is
+// inside the grid.
+func predictFromArtifact(p *core.Pipeline, path string, ts []int, out io.Writer) error {
+	tr, err := forecast.LoadModelFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "loaded %s artifact: target %s, h=%d w=%d, trained at cutoff day %d\n",
+		tr.ModelName(), tr.Target(), tr.Horizon(), tr.Window(), tr.Cutoff())
+	for _, t := range ts {
+		scores, err := p.Predict(tr, t, tr.Window())
+		if err != nil {
+			return fmt.Errorf("predicting at t=%d: %w", t, err)
+		}
+		top := core.TopK(scores, 5)
+		fmt.Fprintf(out, "t=%d forecast day %d top sectors:", t, t+tr.Horizon())
+		for _, i := range top {
+			fmt.Fprintf(out, " %d:%.3f", i, scores[i])
+		}
+		if day := t + tr.Horizon(); day < p.Days() {
+			labels := p.Ctx.Labels(tr.Target()).Col(day)
+			ap := eval.AveragePrecision(scores, labels)
+			fmt.Fprintf(out, "   psi=%.3f lift=%.2f", ap, eval.Lift(ap, eval.Prevalence(labels)))
+		} else {
+			fmt.Fprintf(out, "   (day %d beyond grid: no labels to evaluate)", day)
 		}
 		fmt.Fprintln(out)
 	}

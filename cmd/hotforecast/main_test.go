@@ -108,3 +108,63 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatal("bad -target accepted")
 	}
 }
+
+// TestRunModelOutIn: the train-once workflow — -model-out writes an
+// artifact, -model-in loads it and predicts deterministically against the
+// same pipeline.
+func TestRunModelOutIn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tree.hotm")
+	pipeline := []string{"-sectors", "150", "-weeks", "8", "-seed", "2"}
+	var buf strings.Builder
+	err := run(append(pipeline,
+		"-models", "Tree", "-t", "30", "-h", "3", "-w", "7",
+		"-model-out", path), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); !strings.Contains(got, "trained Tree") || !strings.Contains(got, path) {
+		t.Fatalf("missing training summary:\n%s", got)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("artifact not written: %v", err)
+	}
+
+	predict := func() string {
+		var out strings.Builder
+		if err := run(append(pipeline, "-t", "30,32", "-model-in", path), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	got := predict()
+	for _, want := range []string{"loaded Tree artifact", "t=30 forecast day 33", "t=32 forecast day 35", "psi="} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in prediction output:\n%s", want, got)
+		}
+	}
+	if again := predict(); again != got {
+		t.Fatalf("artifact predictions not deterministic:\n%s\nvs\n%s", got, again)
+	}
+}
+
+// TestRunModelOutValidation: -model-out refuses ambiguous training tasks
+// and cannot be combined with -model-in.
+func TestRunModelOutValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.hotm")
+	base := []string{"-sectors", "150", "-weeks", "8", "-seed", "2", "-w", "7"}
+	if err := run(append(base, "-models", "Average,Persist", "-t", "30", "-h", "3", "-model-out", path), &strings.Builder{}); err == nil {
+		t.Fatal("two models accepted for one artifact")
+	}
+	if err := run(append(base, "-models", "Average", "-t", "30,32", "-h", "3", "-model-out", path), &strings.Builder{}); err == nil {
+		t.Fatal("two forecast days accepted for one artifact")
+	}
+	if err := run(append(base, "-models", "Average", "-t", "30", "-h", "1,3", "-model-out", path), &strings.Builder{}); err == nil {
+		t.Fatal("two horizons accepted for one artifact")
+	}
+	if err := run(append(base, "-model-out", path, "-model-in", path), &strings.Builder{}); err == nil {
+		t.Fatal("-model-out with -model-in accepted")
+	}
+	if err := run(append(base, "-model-in", filepath.Join(t.TempDir(), "missing.hotm")), &strings.Builder{}); err == nil {
+		t.Fatal("missing artifact accepted")
+	}
+}

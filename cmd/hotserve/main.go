@@ -1,0 +1,303 @@
+// Command hotserve is the inference half of the train-once workflow: it
+// loads trained-model artifacts (written by hotforecast -model-out or
+// core.Pipeline.SaveModel), rebuilds the serving context from the same
+// dataset the models were trained on, and serves per-sector hot-spot
+// forecasts over HTTP. Nothing is fitted at serve time — requests only
+// extract the feature window ending at the requested day and run the
+// preloaded artifact, so latency is prediction-only.
+//
+// Usage:
+//
+//	hotforecast -sectors 600 -seed 2 -models RF-F1 -t 60 -h 7 -w 7 -model-out rf.hotm
+//	hotserve    -sectors 600 -seed 2 -models rf.hotm -addr :8080
+//	curl 'http://localhost:8080/healthz'
+//	curl 'http://localhost:8080/forecast?model=RF-F1&t=70&k=10'
+//
+// Endpoints:
+//
+//	GET /healthz   liveness + the loaded artifact inventory
+//	GET /forecast  top-k sector ranking; params: model, target (hot|become),
+//	               h, w (artifact selectors), t (predict day, default latest),
+//	               k (ranking size, default 10)
+//
+// Concurrent /forecast requests are bounded by -max-inflight (admission
+// control through internal/parallel's semaphore); excess requests get 503
+// rather than queuing without bound.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/forecast"
+	"repro/internal/parallel"
+	"repro/internal/simnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hotserve: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable entry point: it builds the serving context, loads
+// the artifacts and blocks serving HTTP.
+func run(args []string, out io.Writer) error {
+	srv, addr, err := setup(args, out)
+	if err != nil {
+		return err
+	}
+	return http.ListenAndServe(addr, srv)
+}
+
+// setup parses flags and assembles the server without binding the socket,
+// so tests can drive the handler directly.
+func setup(args []string, out io.Writer) (*server, string, error) {
+	fs := flag.NewFlagSet("hotserve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		in       = fs.String("in", "", "dataset path (empty = generate; must match the training dataset)")
+		sectors  = fs.Int("sectors", 600, "sectors when generating")
+		weeks    = fs.Int("weeks", 0, "weeks when generating (0 = the paper's 18)")
+		seed     = fs.Uint64("seed", 1, "seed when generating")
+		models   = fs.String("models", "", "comma-separated trained-artifact paths to preload (required)")
+		cacheMB  = fs.Int("cache-mb", 256, "feature-matrix cache budget in MiB (0 disables caching)")
+		inflight = fs.Int("max-inflight", 2*runtime.GOMAXPROCS(0), "max concurrent /forecast requests; excess gets 503")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+	if *models == "" {
+		return nil, "", fmt.Errorf("-models is required: pass at least one artifact written by hotforecast -model-out")
+	}
+
+	cfg := core.Config{Seed: *seed, Sectors: *sectors, Weeks: *weeks,
+		CacheBytes: forecast.CacheBytesMB(*cacheMB)}
+	var p *core.Pipeline
+	var err error
+	if *in == "" {
+		p, err = core.NewPipeline(cfg)
+	} else {
+		var ds *simnet.Dataset
+		if ds, err = simnet.LoadFile(*in); err == nil {
+			p, err = core.FromDataset(ds, cfg)
+		}
+	}
+	if err != nil {
+		return nil, "", err
+	}
+
+	var arts []forecast.Trained
+	for _, path := range strings.Split(*models, ",") {
+		path = strings.TrimSpace(path)
+		tr, err := forecast.LoadModelFile(path)
+		if err != nil {
+			return nil, "", err
+		}
+		arts = append(arts, tr)
+		fmt.Fprintf(out, "loaded %s: %s target %s, h=%d w=%d, cutoff day %d\n",
+			path, tr.ModelName(), tr.Target(), tr.Horizon(), tr.Window(), tr.Cutoff())
+	}
+
+	srv, err := newServer(p, arts, *inflight)
+	if err != nil {
+		return nil, "", err
+	}
+	fmt.Fprintf(out, "serving %d sectors x %d days with %d artifact(s) on %s (max %d in-flight forecasts)\n",
+		p.Sectors(), p.Days(), len(arts), *addr, *inflight)
+	return srv, *addr, nil
+}
+
+// server holds the immutable serving state: the pipeline (data + caches)
+// and the preloaded artifacts.
+type server struct {
+	p     *core.Pipeline
+	arts  []forecast.Trained
+	sem   *parallel.Semaphore
+	mux   *http.ServeMux
+	start time.Time
+}
+
+func newServer(p *core.Pipeline, arts []forecast.Trained, maxInflight int) (*server, error) {
+	if len(arts) == 0 {
+		return nil, fmt.Errorf("hotserve: no artifacts to serve")
+	}
+	seen := map[string]bool{}
+	for _, tr := range arts {
+		id := artifactID(tr)
+		if seen[id] {
+			return nil, fmt.Errorf("hotserve: duplicate artifact %s", id)
+		}
+		seen[id] = true
+	}
+	s := &server{p: p, arts: arts, sem: parallel.NewSemaphore(maxInflight), mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /forecast", s.handleForecast)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func artifactID(tr forecast.Trained) string {
+	return fmt.Sprintf("%s/%s/h=%d/w=%d", tr.ModelName(), tr.Target(), tr.Horizon(), tr.Window())
+}
+
+// modelInfo is the artifact inventory entry of /healthz.
+type modelInfo struct {
+	Model  string `json:"model"`
+	Target string `json:"target"`
+	H      int    `json:"h"`
+	W      int    `json:"w"`
+	Cutoff int    `json:"cutoff"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	infos := make([]modelInfo, len(s.arts))
+	for i, tr := range s.arts {
+		infos[i] = modelInfo{Model: tr.ModelName(), Target: tr.Target().String(),
+			H: tr.Horizon(), W: tr.Window(), Cutoff: tr.Cutoff()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"sectors":   s.p.Sectors(),
+		"days":      s.p.Days(),
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"models":    infos,
+	})
+}
+
+// sectorScore is one /forecast ranking entry.
+type sectorScore struct {
+	Sector int     `json:"sector"`
+	Score  float64 `json:"score"`
+}
+
+func (s *server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	if !s.sem.TryAcquire() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "server at capacity, retry later"})
+		return
+	}
+	defer s.sem.Release()
+
+	q := r.URL.Query()
+	tr, err := s.selectArtifact(q)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "no artifact") {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, map[string]any{"error": err.Error()})
+		return
+	}
+	t, err := intParam(q, "t", s.p.Days()-1)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	k, err := intParam(q, "k", 10)
+	if err != nil || k < 1 {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad k"})
+		return
+	}
+
+	start := time.Now()
+	scores, err := s.p.Predict(tr, t, tr.Window())
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	top := core.TopK(scores, k)
+	ranked := make([]sectorScore, len(top))
+	for i, id := range top {
+		ranked[i] = sectorScore{Sector: id, Score: scores[id]}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model":        tr.ModelName(),
+		"target":       tr.Target().String(),
+		"t":            t,
+		"h":            tr.Horizon(),
+		"w":            tr.Window(),
+		"forecast_day": t + tr.Horizon(),
+		"top":          ranked,
+		"elapsed_ms":   time.Since(start).Milliseconds(),
+	})
+}
+
+// selectArtifact resolves the query's model/target/h/w selectors to
+// exactly one preloaded artifact.
+func (s *server) selectArtifact(q map[string][]string) (forecast.Trained, error) {
+	get := func(key string) string {
+		if vs := q[key]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	wantTarget := get("target")
+	if wantTarget != "" && wantTarget != "hot" && wantTarget != "become" {
+		return nil, fmt.Errorf("unknown target %q (hot | become)", wantTarget)
+	}
+	var matches []forecast.Trained
+	for _, tr := range s.arts {
+		if m := get("model"); m != "" && m != tr.ModelName() {
+			continue
+		}
+		if wantTarget == "hot" && tr.Target() != forecast.BeHot {
+			continue
+		}
+		if wantTarget == "become" && tr.Target() != forecast.BecomeHot {
+			continue
+		}
+		if hs := get("h"); hs != "" && hs != strconv.Itoa(tr.Horizon()) {
+			continue
+		}
+		if ws := get("w"); ws != "" && ws != strconv.Itoa(tr.Window()) {
+			continue
+		}
+		matches = append(matches, tr)
+	}
+	switch len(matches) {
+	case 1:
+		return matches[0], nil
+	case 0:
+		return nil, fmt.Errorf("no artifact matches the request; /healthz lists the loaded models")
+	default:
+		ids := make([]string, len(matches))
+		for i, tr := range matches {
+			ids[i] = artifactID(tr)
+		}
+		return nil, fmt.Errorf("ambiguous request matches %s; add model/target/h/w selectors", strings.Join(ids, ", "))
+	}
+}
+
+func intParam(q map[string][]string, key string, def int) (int, error) {
+	vs := q[key]
+	if len(vs) == 0 || vs[0] == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(vs[0])
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", key, vs[0])
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/forecast"
+)
+
+// testServer builds a tiny pipeline, trains two artifacts and wires them
+// into a server with the given admission bound.
+func testServer(t *testing.T, maxInflight int) (*server, *core.Pipeline) {
+	t.Helper()
+	p, err := core.NewPipeline(core.Config{Seed: 2, Sectors: 150, Weeks: 8, TrainDays: 3, ForestTrees: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := p.Train(core.Average, forecast.BeHot, 30, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := p.Train(core.Tree, forecast.BeHot, 30, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(p, []forecast.Trained{avg, tree}, maxInflight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, p
+}
+
+func get(t *testing.T, srv *server, url string) (int, map[string]any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("%s: non-JSON response %q: %v", url, rec.Body.String(), err)
+	}
+	return rec.Code, body
+}
+
+func TestHealthz(t *testing.T) {
+	srv, p := testServer(t, 4)
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", code, body)
+	}
+	if int(body["sectors"].(float64)) != p.Sectors() || int(body["days"].(float64)) != p.Days() {
+		t.Fatalf("healthz shape = %v", body)
+	}
+	models := body["models"].([]any)
+	if len(models) != 2 {
+		t.Fatalf("models = %v", models)
+	}
+	first := models[0].(map[string]any)
+	if first["model"] != "Average" || first["h"].(float64) != 3 {
+		t.Fatalf("model inventory = %v", first)
+	}
+}
+
+func TestForecastEndpoint(t *testing.T) {
+	srv, p := testServer(t, 4)
+	code, body := get(t, srv, "/forecast?model=Tree&t=30&k=5")
+	if code != http.StatusOK {
+		t.Fatalf("forecast = %d %v", code, body)
+	}
+	if body["model"] != "Tree" || body["forecast_day"].(float64) != 33 {
+		t.Fatalf("forecast meta = %v", body)
+	}
+	top := body["top"].([]any)
+	if len(top) != 5 {
+		t.Fatalf("top = %v", top)
+	}
+	// Scores arrive ranked descending.
+	prev := 2.0
+	for _, e := range top {
+		s := e.(map[string]any)["score"].(float64)
+		if s > prev {
+			t.Fatalf("ranking not descending: %v", top)
+		}
+		prev = s
+	}
+	// Deterministic across calls.
+	_, again := get(t, srv, "/forecast?model=Tree&t=30&k=5")
+	a, _ := json.Marshal(body["top"])
+	b, _ := json.Marshal(again["top"])
+	if string(a) != string(b) {
+		t.Fatalf("forecast not deterministic:\n%s\n%s", a, b)
+	}
+	// Default t is the latest day with a full window.
+	code, body = get(t, srv, "/forecast?model=Average")
+	if code != http.StatusOK || int(body["t"].(float64)) != p.Days()-1 {
+		t.Fatalf("default-t forecast = %d %v", code, body)
+	}
+}
+
+func TestForecastSelectionErrors(t *testing.T) {
+	srv, _ := testServer(t, 4)
+	if code, _ := get(t, srv, "/forecast?model=RF-F1"); code != http.StatusNotFound {
+		t.Fatalf("unknown model = %d, want 404", code)
+	}
+	if code, body := get(t, srv, "/forecast"); code != http.StatusBadRequest ||
+		!strings.Contains(body["error"].(string), "ambiguous") {
+		t.Fatalf("ambiguous selection = %d %v", code, body)
+	}
+	if code, _ := get(t, srv, "/forecast?model=Tree&t=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad t = %d, want 400", code)
+	}
+	if code, _ := get(t, srv, "/forecast?model=Tree&t=2"); code != http.StatusBadRequest {
+		t.Fatalf("t without window history = %d, want 400", code)
+	}
+	if code, _ := get(t, srv, "/forecast?model=Tree&k=0"); code != http.StatusBadRequest {
+		t.Fatalf("k=0 = %d, want 400", code)
+	}
+	if code, _ := get(t, srv, "/forecast?target=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad target = %d, want 400", code)
+	}
+}
+
+// TestForecastAdmissionControl: when every slot is held, /forecast sheds
+// load with 503 instead of queuing; /healthz stays available.
+func TestForecastAdmissionControl(t *testing.T) {
+	srv, _ := testServer(t, 1)
+	srv.sem.Acquire() // occupy the only slot
+	code, body := get(t, srv, "/forecast?model=Tree")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated forecast = %d %v, want 503", code, body)
+	}
+	if code, _ := get(t, srv, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz unavailable while saturated: %d", code)
+	}
+	srv.sem.Release()
+	if code, _ := get(t, srv, "/forecast?model=Tree"); code != http.StatusOK {
+		t.Fatalf("freed slot still refused: %d", code)
+	}
+}
+
+func TestNewServerRejectsDuplicates(t *testing.T) {
+	srv, p := testServer(t, 1)
+	if _, err := newServer(p, []forecast.Trained{srv.arts[0], srv.arts[0]}, 1); err == nil {
+		t.Fatal("duplicate artifact accepted")
+	}
+	if _, err := newServer(p, nil, 1); err == nil {
+		t.Fatal("empty artifact set accepted")
+	}
+}
+
+// TestSetupFromArtifactFile: the flag path — train via the core pipeline,
+// save to disk, then boot the server from the file.
+func TestSetupFromArtifactFile(t *testing.T) {
+	p, err := core.NewPipeline(core.Config{Seed: 2, Sectors: 150, Weeks: 8, TrainDays: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := p.Train(core.Average, forecast.BeHot, 30, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "avg.hotm")
+	if err := p.SaveModel(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	srv, addr, err := setup([]string{
+		"-sectors", "150", "-weeks", "8", "-seed", "2",
+		"-models", path, "-addr", "127.0.0.1:0",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "127.0.0.1:0" {
+		t.Fatalf("addr = %q", addr)
+	}
+	if !strings.Contains(buf.String(), "loaded "+path) || !strings.Contains(buf.String(), "serving") {
+		t.Fatalf("missing startup summary:\n%s", buf.String())
+	}
+	if code, _ := get(t, srv, "/forecast?model=Average&t=30"); code != http.StatusOK {
+		t.Fatalf("served forecast = %d", code)
+	}
+	if _, _, err := setup([]string{"-sectors", "150"}, &strings.Builder{}); err == nil {
+		t.Fatal("missing -models accepted")
+	}
+}

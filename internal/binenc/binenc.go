@@ -1,0 +1,176 @@
+// Package binenc provides the little-endian binary codec primitives behind
+// the repository's trained-model artifacts (internal/mltree codecs and the
+// forecast artifact envelope). Encoding appends to a byte slice; decoding
+// goes through a Reader that records the first error and refuses to
+// allocate more than the buffer could possibly hold, so corrupt or
+// truncated artifacts fail with an error instead of a panic or an
+// attacker-sized allocation.
+package binenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// AppendU8 appends one byte.
+func AppendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+// AppendU16 appends a little-endian uint16.
+func AppendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+
+// AppendU32 appends a little-endian uint32.
+func AppendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+// AppendU64 appends a little-endian uint64.
+func AppendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// AppendI32 appends an int32 as its two's-complement uint32.
+func AppendI32(b []byte, v int32) []byte { return AppendU32(b, uint32(v)) }
+
+// AppendF64 appends the IEEE-754 bits of v, so round-trips are bit-exact
+// (including NaN payloads and signed zeros).
+func AppendF64(b []byte, v float64) []byte { return AppendU64(b, math.Float64bits(v)) }
+
+// AppendString appends a u32 length prefix and the raw bytes.
+func AppendString(b []byte, s string) []byte {
+	b = AppendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// AppendF64s appends a u32 count prefix and the values' IEEE-754 bits.
+// A nil slice encodes as count 0 and decodes as nil.
+func AppendF64s(b []byte, vs []float64) []byte {
+	b = AppendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = AppendF64(b, v)
+	}
+	return b
+}
+
+// Reader decodes a buffer written with the Append helpers. The first
+// failure (short buffer, oversized count) sticks: every later read returns
+// a zero value and Err reports the original problem.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a buffer for decoding.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Close verifies the buffer was consumed exactly: it returns the sticky
+// error if any, and otherwise an error when trailing bytes remain.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if n := r.Remaining(); n != 0 {
+		return fmt.Errorf("binenc: %d trailing bytes after decode", n)
+	}
+	return nil
+}
+
+// fail records the first error.
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("binenc: "+format, args...)
+	}
+}
+
+// take returns the next n bytes, or nil after recording a short-buffer
+// error.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Remaining() < n {
+		r.fail("need %d bytes at offset %d, have %d", n, r.off, r.Remaining())
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I32 reads an int32.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// F64 reads a float64 bit-exactly.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// String reads a u32-length-prefixed string. The length is validated
+// against the remaining buffer before any allocation.
+func (r *Reader) String() string {
+	n := int(r.U32())
+	if r.err == nil && n > r.Remaining() {
+		r.fail("string length %d exceeds %d remaining bytes", n, r.Remaining())
+		return ""
+	}
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// F64s reads a u32-count-prefixed float64 slice (count 0 decodes as nil).
+// The count is validated against the remaining buffer before allocating.
+func (r *Reader) F64s() []float64 {
+	n := int(r.U32())
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	if n*8 > r.Remaining() {
+		r.fail("f64 count %d exceeds %d remaining bytes", n, r.Remaining())
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+// Package bytelru is the byte-budgeted LRU with single-flight builds that
+// backs both value stores on the sweep engine's hot path: the
+// feature-matrix cache (internal/featcache) and the trained-model cache
+// (internal/modelcache). The two wrappers contribute their key/value types
+// and domain docs; the eviction and single-flight concurrency logic lives
+// only here.
+package bytelru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Sized is the value constraint: anything cached must report its in-memory
+// footprint for byte budgeting.
+type Sized interface {
+	Bytes() int64
+}
+
+// Stats is a point-in-time cache counter snapshot. Callers that arrive
+// while another goroutine is building the same key share that build and
+// count as neither hit nor miss.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// Oversize counts built values too large to cache at all.
+	Oversize uint64
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+}
+
+// Cache is a byte-budgeted LRU with single-flight builds. All methods are
+// safe for concurrent use.
+type Cache[K comparable, V Sized] struct {
+	mu       sync.Mutex
+	max      int64 // <= 0 means unbounded
+	bytes    int64
+	ll       *list.List // front = most recently used
+	entries  map[K]*list.Element
+	building map[K]*buildCall[V]
+	stats    Stats
+}
+
+type lruEntry[K comparable, V Sized] struct {
+	key K
+	v   V
+}
+
+type buildCall[V Sized] struct {
+	done chan struct{}
+	v    V
+	err  error
+}
+
+// New returns a cache bounded to maxBytes of value payload (<= 0 means
+// unbounded).
+func New[K comparable, V Sized](maxBytes int64) *Cache[K, V] {
+	return &Cache[K, V]{
+		max:      maxBytes,
+		ll:       list.New(),
+		entries:  map[K]*list.Element{},
+		building: map[K]*buildCall[V]{},
+	}
+}
+
+// MaxBytes returns the configured byte budget (<= 0 means unbounded).
+func (c *Cache[K, V]) MaxBytes() int64 { return c.max }
+
+// GetOrBuild returns the value for key, building it with build on a miss.
+// Concurrent callers for the same key share one build (single flight): the
+// first caller builds, the rest block and receive the same value. Build
+// errors are not cached — the next caller retries.
+func (c *Cache[K, V]) GetOrBuild(key K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		v := el.Value.(*lruEntry[K, V]).v
+		c.mu.Unlock()
+		return v, nil
+	}
+	if call, ok := c.building[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.v, call.err
+	}
+	call := &buildCall[V]{done: make(chan struct{})}
+	c.building[key] = call
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	call.v, call.err = build()
+
+	c.mu.Lock()
+	delete(c.building, key)
+	if call.err == nil {
+		c.insert(key, call.v)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.v, call.err
+}
+
+// insert stores a freshly built value, evicting least-recently-used
+// entries until the byte budget holds. A value larger than the whole
+// budget is served but never stored. Callers hold c.mu.
+func (c *Cache[K, V]) insert(key K, v V) {
+	if c.max > 0 && v.Bytes() > c.max {
+		c.stats.Oversize++
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&lruEntry[K, V]{key: key, v: v})
+	c.bytes += v.Bytes()
+	for c.max > 0 && c.bytes > c.max {
+		back := c.ll.Back()
+		victim := back.Value.(*lruEntry[K, V])
+		c.ll.Remove(back)
+		delete(c.entries, victim.key)
+		c.bytes -= victim.v.Bytes()
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.Bytes = c.bytes
+	s.MaxBytes = c.max
+	return s
+}
+
+// Len returns the number of cached values.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -89,6 +89,9 @@ type Config struct {
 	// CacheBytes bounds the shared feature-matrix cache
 	// (0 = forecast.DefaultCacheBytes, negative disables).
 	CacheBytes int64
+	// ModelCacheBytes bounds the shared trained-model cache
+	// (0 = forecast.DefaultModelCacheBytes, negative disables).
+	ModelCacheBytes int64
 }
 
 // Pipeline is a prepared end-to-end hot-spot forecasting system.
@@ -156,6 +159,7 @@ func FromDataset(ds *simnet.Dataset, cfg Config) (*Pipeline, error) {
 		ctx.ForestTrees = cfg.ForestTrees
 	}
 	ctx.CacheBytes = cfg.CacheBytes
+	ctx.ModelCacheBytes = cfg.ModelCacheBytes
 	return &Pipeline{Dataset: sub, Scores: set, Ctx: ctx, Discarded: discarded}, nil
 }
 
@@ -174,6 +178,38 @@ func (p *Pipeline) Forecast(kind ModelKind, target forecast.Target, t, h, w int)
 		return nil, err
 	}
 	return m.Forecast(p.Ctx, target, t, h, w)
+}
+
+// Train fits one model for horizon h on the data available at day t
+// (labels through t, w-day feature windows) and returns the immutable
+// trained artifact, served through the pipeline's trained-model cache.
+// The artifact predicts any later day via Predict, serializes with
+// SaveModel, and serves from cmd/hotserve.
+func (p *Pipeline) Train(kind ModelKind, target forecast.Target, t, h, w int) (forecast.Trained, error) {
+	m, err := NewModel(kind)
+	if err != nil {
+		return nil, err
+	}
+	return p.Ctx.TrainedModel(m, target, t, h, w)
+}
+
+// Predict scores every sector for day t+tr.Horizon() from the w-day
+// window ending at day t of this pipeline's data. The pipeline must
+// describe the same network the artifact was trained on.
+func (p *Pipeline) Predict(tr forecast.Trained, t, w int) ([]float64, error) {
+	return tr.Predict(p.Ctx, t, w)
+}
+
+// SaveModel writes a trained artifact to path in the versioned binary
+// artifact format.
+func (p *Pipeline) SaveModel(path string, tr forecast.Trained) error {
+	return forecast.SaveModel(path, tr)
+}
+
+// LoadModel reads a trained artifact written by SaveModel (or
+// hotforecast -model-out), ready to Predict against this pipeline.
+func (p *Pipeline) LoadModel(path string) (forecast.Trained, error) {
+	return forecast.LoadModelFile(path)
 }
 
 // Evaluate sweeps all eight models over the given grid and returns the
@@ -202,7 +238,14 @@ func (p *Pipeline) sweepConfig(target forecast.Target, ts, hs []int, w int) fore
 }
 
 // TopK returns the k sector IDs with the highest forecast scores: the
-// operator-facing ranking of sectors to inspect.
+// operator-facing ranking of sectors to inspect (and the /forecast
+// response of cmd/hotserve).
+//
+// Ordering contract: scores descend; tied scores break by ascending
+// sector index; NaN scores rank after every finite score (themselves
+// index-ordered). The ranking is therefore fully deterministic — two
+// calls over equal scores return identical slices, regardless of how the
+// scores were produced.
 func TopK(scores []float64, k int) []int {
 	idx := mathx.ArgsortDesc(scores)
 	if k > len(idx) {

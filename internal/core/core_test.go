@@ -132,6 +132,99 @@ func TestTopK(t *testing.T) {
 	}
 }
 
+// TestTopKDeterministicOnTies: the documented ordering contract — tied
+// scores break by ascending sector index, NaNs rank last — so the
+// operator-facing ranking never depends on sort internals or call order.
+// Regression test for the contract the hotserve /forecast endpoint relies
+// on.
+func TestTopKDeterministicOnTies(t *testing.T) {
+	nan := math.NaN()
+	scores := []float64{0.5, 0.9, 0.5, nan, 0.9, 0.5, nan}
+	want := []int{1, 4, 0, 2, 5, 3, 6}
+	got := TopK(scores, len(scores))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v (ties by ascending index, NaNs last)", got, want)
+		}
+	}
+	// Stability across calls: equal input, identical output.
+	for trial := 0; trial < 5; trial++ {
+		again := TopK(scores, len(scores))
+		for i := range got {
+			if again[i] != got[i] {
+				t.Fatalf("trial %d: TopK not deterministic: %v vs %v", trial, again, got)
+			}
+		}
+	}
+	// All-tied input degenerates to sector-index order.
+	flat := TopK([]float64{1, 1, 1, 1}, 3)
+	for i, id := range []int{0, 1, 2} {
+		if flat[i] != id {
+			t.Fatalf("all-tied TopK = %v, want index order", flat)
+		}
+	}
+}
+
+// TestTrainSaveLoadPredict: the pipeline's train-once workflow — Train,
+// SaveModel, LoadModel, Predict — round-trips bit-identically, including
+// predictions at days after the fit day (the serving case).
+func TestTrainSaveLoadPredict(t *testing.T) {
+	p := smallPipeline(t)
+	tr, err := p.Train(RFF1, forecast.BeHot, 30, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ModelName() != "RF-F1" || tr.Horizon() != 3 || tr.Window() != 7 || tr.Cutoff() != 27 {
+		t.Fatalf("artifact identity = %s/%d/%d/%d", tr.ModelName(), tr.Horizon(), tr.Window(), tr.Cutoff())
+	}
+	path := t.TempDir() + "/rf.hotm"
+	if err := p.SaveModel(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := p.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, day := range []int{30, 33} {
+		want, err := p.Predict(tr, day, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := p.Predict(loaded, day, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("day %d sector %d: %v != %v after save/load", day, i, want[i], have[i])
+			}
+		}
+	}
+	// Train through the cache: an equal task is served without a refit.
+	again, err := p.Train(RFF1, forecast.BeHot, 30, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != tr {
+		t.Fatal("repeated Train did not serve the cached artifact")
+	}
+	if _, err := p.Train("bogus", forecast.BeHot, 30, 3, 7); err == nil {
+		t.Fatal("unknown model kind accepted")
+	}
+}
+
+// TestPipelineModelCacheDisabled: a negative Config.ModelCacheBytes
+// threads through to a nil trained-model cache.
+func TestPipelineModelCacheDisabled(t *testing.T) {
+	p, err := NewPipeline(Config{Seed: 3, Sectors: 60, Weeks: 6, ModelCacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ctx.ModelCache() != nil {
+		t.Fatal("negative ModelCacheBytes should disable the trained-model cache")
+	}
+}
+
 func TestPipelineWithImputation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("imputation training is slow")

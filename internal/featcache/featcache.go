@@ -17,12 +17,13 @@
 //
 // Feature extraction is deterministic per (sector, end, w), so serving a
 // cached matrix is bit-identical to rebuilding it; the forecast package's
-// determinism tests enforce cached == uncached end to end.
+// determinism tests enforce cached == uncached end to end. The LRU and
+// single-flight machinery is shared with the trained-model cache via
+// internal/bytelru.
 package featcache
 
 import (
-	"container/list"
-	"sync"
+	"repro/internal/bytelru"
 )
 
 // Key identifies one distinct matrix build: the extractor name, the
@@ -51,123 +52,18 @@ type Matrix struct {
 func (m *Matrix) Bytes() int64 { return int64(len(m.Data)) * 8 }
 
 // Stats is a point-in-time cache counter snapshot.
-type Stats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	// Oversize counts built matrices too large to cache at all.
-	Oversize uint64
-	Entries  int
-	Bytes    int64
-	MaxBytes int64
-}
+type Stats = bytelru.Stats
 
 // Cache is a byte-budgeted LRU of feature matrices with single-flight
-// builds. All methods are safe for concurrent use.
+// builds: concurrent callers for the same key share one build, the first
+// caller builds and the rest block for the same handle, build errors are
+// not cached. All methods are safe for concurrent use.
 type Cache struct {
-	mu       sync.Mutex
-	max      int64 // <= 0 means unbounded
-	bytes    int64
-	ll       *list.List // front = most recently used
-	entries  map[Key]*list.Element
-	building map[Key]*buildCall
-	stats    Stats
-}
-
-type lruEntry struct {
-	key Key
-	m   *Matrix
-}
-
-type buildCall struct {
-	done chan struct{}
-	m    *Matrix
-	err  error
+	*bytelru.Cache[Key, *Matrix]
 }
 
 // New returns a cache bounded to maxBytes of matrix payload (<= 0 means
 // unbounded).
 func New(maxBytes int64) *Cache {
-	return &Cache{
-		max:      maxBytes,
-		ll:       list.New(),
-		entries:  map[Key]*list.Element{},
-		building: map[Key]*buildCall{},
-	}
-}
-
-// MaxBytes returns the configured byte budget (<= 0 means unbounded).
-func (c *Cache) MaxBytes() int64 { return c.max }
-
-// GetOrBuild returns the matrix for key, building it with build on a miss.
-// Concurrent callers for the same key share one build (single flight): the
-// first caller builds, the rest block and receive the same handle. Build
-// errors are not cached — the next caller retries.
-func (c *Cache) GetOrBuild(key Key, build func() (*Matrix, error)) (*Matrix, error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.ll.MoveToFront(el)
-		c.stats.Hits++
-		m := el.Value.(*lruEntry).m
-		c.mu.Unlock()
-		return m, nil
-	}
-	if call, ok := c.building[key]; ok {
-		c.mu.Unlock()
-		<-call.done
-		return call.m, call.err
-	}
-	call := &buildCall{done: make(chan struct{})}
-	c.building[key] = call
-	c.stats.Misses++
-	c.mu.Unlock()
-
-	call.m, call.err = build()
-
-	c.mu.Lock()
-	delete(c.building, key)
-	if call.err == nil {
-		c.insert(key, call.m)
-	}
-	c.mu.Unlock()
-	close(call.done)
-	return call.m, call.err
-}
-
-// insert stores a freshly built matrix, evicting least-recently-used
-// entries until the byte budget holds. A matrix larger than the whole
-// budget is served but never stored. Callers hold c.mu.
-func (c *Cache) insert(key Key, m *Matrix) {
-	if c.max > 0 && m.Bytes() > c.max {
-		c.stats.Oversize++
-		return
-	}
-	c.entries[key] = c.ll.PushFront(&lruEntry{key: key, m: m})
-	c.bytes += m.Bytes()
-	for c.max > 0 && c.bytes > c.max {
-		back := c.ll.Back()
-		victim := back.Value.(*lruEntry)
-		c.ll.Remove(back)
-		delete(c.entries, victim.key)
-		c.bytes -= victim.m.Bytes()
-		c.stats.Evictions++
-	}
-}
-
-// Stats returns a snapshot of the cache counters.
-func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = len(c.entries)
-	s.Bytes = c.bytes
-	s.MaxBytes = c.max
-	return s
-}
-
-// Len returns the number of cached matrices.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	return &Cache{bytelru.New[Key, *Matrix](maxBytes)}
 }

@@ -153,6 +153,22 @@ type Extractor interface {
 	Extract(v *View, i, end, w int, out []float64)
 }
 
+// ByName resolves an extractor from its Name, the inverse used when a
+// serialized model artifact is loaded and must rebuild its feature
+// representation at predict time.
+func ByName(name string) (Extractor, error) {
+	switch name {
+	case Raw{}.Name():
+		return Raw{}, nil
+	case Percentiles{}.Name():
+		return Percentiles{}, nil
+	case HandCrafted{}.Name():
+		return HandCrafted{}, nil
+	default:
+		return nil, fmt.Errorf("features: unknown extractor %q", name)
+	}
+}
+
 // windowBounds converts (end-exclusive day, w days) to an hour range.
 func windowBounds(end, w int) (h0, h1 int) {
 	return (end - w) * timegrid.HoursPerDay, end * timegrid.HoursPerDay

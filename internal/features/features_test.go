@@ -385,3 +385,20 @@ func TestChannelName(t *testing.T) {
 		t.Fatalf("Yd name = %q", got)
 	}
 }
+
+// TestByName: every extractor resolves from its own Name (the mapping a
+// loaded model artifact uses to rebuild features), unknown names error.
+func TestByName(t *testing.T) {
+	for _, ex := range []Extractor{Raw{}, Percentiles{}, HandCrafted{}} {
+		got, err := ByName(ex.Name())
+		if err != nil {
+			t.Fatalf("%s: %v", ex.Name(), err)
+		}
+		if got.Name() != ex.Name() {
+			t.Fatalf("ByName(%q) resolved %q", ex.Name(), got.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("unknown extractor accepted")
+	}
+}

@@ -1,0 +1,353 @@
+package forecast
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/binenc"
+	"repro/internal/features"
+	"repro/internal/mltree"
+	"repro/internal/score"
+)
+
+// Trained is an immutable fitted-model artifact: the output of Model.Fit
+// and the unit the trained-model cache stores, the artifact codec
+// serializes, and cmd/hotserve preloads. An artifact is safe for
+// concurrent Predict calls; it never mutates after Fit.
+//
+// Predict scores every sector from the w-day feature window ending
+// (exclusive) at day t — day t need not equal the fit day, which is the
+// serving story: fit once at the edge of the data, then predict each new
+// day from the same artifact. The Context passed to Predict supplies the
+// data; it must describe the same network the artifact was trained on.
+type Trained interface {
+	// ModelName is the fitted model's paper name (Random ... GBT-F1).
+	ModelName() string
+	// Target is the forecast variable the artifact was fitted for.
+	Target() Target
+	// Horizon is the Eq. 7 label gap h: scores at day t rank sectors for
+	// day t+h.
+	Horizon() int
+	// Window is the past-window length w the artifact was fitted with.
+	Window() int
+	// Cutoff is the train-data boundary t-h at fit time: the exclusive end
+	// day of the latest feature window the fit consumed.
+	Cutoff() int
+	// Predict returns one ranking score per sector for day t+Horizon(),
+	// from the window of w days ending at t.
+	Predict(c *Context, t, w int) ([]float64, error)
+	// Bytes estimates the artifact's in-memory footprint (cache budgets).
+	Bytes() int64
+}
+
+// artifactMeta is the identity block shared by every artifact kind.
+type artifactMeta struct {
+	name   string
+	target Target
+	h, w   int
+	cutoff int
+}
+
+func (m artifactMeta) ModelName() string { return m.name }
+func (m artifactMeta) Target() Target    { return m.target }
+func (m artifactMeta) Horizon() int      { return m.h }
+func (m artifactMeta) Window() int       { return m.w }
+func (m artifactMeta) Cutoff() int       { return m.cutoff }
+
+// Artifact kind tags — also the on-disk kind byte, so the values are part
+// of the codec and must never be renumbered.
+const (
+	kindRandom   uint8 = 1
+	kindPersist  uint8 = 2
+	kindAverage  uint8 = 3
+	kindTrend    uint8 = 4
+	kindFallback uint8 = 5 // degenerate-labels fit: predicts the Average ranking
+	kindTree     uint8 = 6
+	kindForest   uint8 = 7
+	kindGBT      uint8 = 8
+)
+
+// baselineArtifact is the state of a fitted baseline: nothing beyond the
+// task identity, because the baselines score directly from the serving
+// context's data. kindFallback is a classifier fit that hit a degenerate
+// training day (single-class labels) and degraded to the Average ranking,
+// the strongest baseline — matching the pre-split Forecast behaviour.
+type baselineArtifact struct {
+	artifactMeta
+	kind uint8
+}
+
+// Bytes implements Trained; baseline artifacts are nominal-sized.
+func (a *baselineArtifact) Bytes() int64 { return 96 }
+
+// Predict implements Trained, scoring day t+h from the window ending at t
+// exactly as the corresponding baseline's pre-split Forecast did. Every
+// kind except Random reads day t itself (labels, or the day-t-inclusive
+// Eq. 3 window of the daily scores), so those kinds additionally require
+// t < Days(); with a clamped window score.Mu would silently average fewer
+// days and bias the ranking.
+func (a *baselineArtifact) Predict(c *Context, t, w int) ([]float64, error) {
+	if err := c.CheckPredict(t, w); err != nil {
+		return nil, err
+	}
+	if a.kind != kindRandom && t >= c.Days() {
+		return nil, fmt.Errorf("forecast: %s needs data at day t=%d, grid has %d days", a.name, t, c.Days())
+	}
+	out := make([]float64, c.Sectors())
+	switch a.kind {
+	case kindRandom:
+		rng := randomRNG(c, t, a.h)
+		for i := range out {
+			out[i] = rng.Float64()
+		}
+	case kindPersist:
+		y := c.Labels(a.target)
+		for i := range out {
+			out[i] = y.At(i, t)
+		}
+	case kindAverage, kindFallback:
+		for i := range out {
+			out[i] = sanitizeScore(score.Mu(t, w, c.Sd.Row(i)))
+		}
+	case kindTrend:
+		half := w / 2
+		for i := range out {
+			row := c.Sd.Row(i)
+			avg := sanitizeScore(score.Mu(t, w, row))
+			if half < 1 {
+				out[i] = avg
+				continue
+			}
+			recent := sanitizeScore(score.Mu(t, half, row))
+			earlier := sanitizeScore(score.Mu(t-half, half, row))
+			out[i] = avg + (recent-earlier)/float64(half)
+		}
+	default:
+		return nil, fmt.Errorf("forecast: unknown baseline artifact kind %d", a.kind)
+	}
+	return out, nil
+}
+
+// classifierArtifact is a fitted tree-based model: the learner plus the
+// feature representation needed to rebuild prediction matrices. Exactly
+// one of tree/forest/gbt is non-nil, matching the kind.
+type classifierArtifact struct {
+	artifactMeta
+	kind      uint8
+	extractor features.Extractor
+	width     int // trained feature-vector length; Predict windows must match
+	tree      *mltree.Tree
+	forest    *mltree.Forest
+	gbt       *mltree.GBT
+	// importances of the fit (mean decrease in impurity); nil for GBT.
+	importances []float64
+}
+
+// Bytes implements Trained.
+func (a *classifierArtifact) Bytes() int64 {
+	size := int64(160) + int64(len(a.importances))*8
+	switch {
+	case a.tree != nil:
+		size += a.tree.SizeBytes()
+	case a.forest != nil:
+		size += a.forest.SizeBytes()
+	case a.gbt != nil:
+		size += a.gbt.SizeBytes()
+	}
+	return size
+}
+
+// Predict implements Trained: build (or fetch from the feature cache) the
+// all-sector matrix for the window ending at t and run the learner on
+// every row, per Eq. 6.
+func (a *classifierArtifact) Predict(c *Context, t, w int) ([]float64, error) {
+	if err := c.CheckPredict(t, w); err != nil {
+		return nil, err
+	}
+	if got := a.extractor.Width(c.View, w); got != a.width {
+		return nil, fmt.Errorf("forecast: %s artifact trained on %d features, window w=%d yields %d",
+			a.name, a.width, w, got)
+	}
+	pmat, err := c.FeatureMatrix(a.extractor, t, w)
+	if err != nil {
+		return nil, fmt.Errorf("forecast: building prediction matrix: %w", err)
+	}
+	n := c.Sectors()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := pmat.Data[i*a.width : (i+1)*a.width]
+		switch {
+		case a.tree != nil:
+			out[i] = a.tree.PredictProba(row)[1]
+		case a.forest != nil:
+			out[i] = a.forest.PredictProba(row)[1]
+		case a.gbt != nil:
+			out[i] = a.gbt.PredictProba(row)[1]
+		default:
+			return nil, fmt.Errorf("forecast: classifier artifact %s has no learner", a.name)
+		}
+	}
+	return out, nil
+}
+
+// Importances returns the artifact's feature importances (nil for GBT and
+// baseline artifacts). The exported accessor lets tooling inspect loaded
+// artifacts; the slice is shared and must not be written.
+func (a *classifierArtifact) Importances() []float64 { return a.importances }
+
+// Artifact envelope constants: 4-byte magic, then a version word. Decoding
+// refuses other versions, so incompatible format changes must bump
+// ArtifactVersion.
+var artifactMagic = [4]byte{'H', 'O', 'T', 'M'}
+
+// ArtifactVersion is the serialization format version this build reads and
+// writes.
+const ArtifactVersion uint16 = 1
+
+// EncodeModel serializes a trained artifact to the versioned binary
+// format. Decoding the result with DecodeModel yields an artifact whose
+// Predict is bit-identical on any context.
+func EncodeModel(tr Trained) ([]byte, error) {
+	var kind uint8
+	var payload func(b []byte) []byte
+	switch a := tr.(type) {
+	case *baselineArtifact:
+		kind = a.kind
+		payload = func(b []byte) []byte { return b }
+	case *classifierArtifact:
+		kind = a.kind
+		payload = func(b []byte) []byte {
+			b = binenc.AppendString(b, a.extractor.Name())
+			b = binenc.AppendU32(b, uint32(a.width))
+			b = binenc.AppendF64s(b, a.importances)
+			switch kind {
+			case kindTree:
+				return a.tree.AppendBinary(b)
+			case kindForest:
+				return a.forest.AppendBinary(b)
+			default:
+				return a.gbt.AppendBinary(b)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("forecast: cannot encode artifact type %T", tr)
+	}
+	b := append([]byte(nil), artifactMagic[:]...)
+	b = binenc.AppendU16(b, ArtifactVersion)
+	b = binenc.AppendU8(b, kind)
+	b = binenc.AppendU8(b, uint8(tr.Target()))
+	b = binenc.AppendU32(b, uint32(tr.Horizon()))
+	b = binenc.AppendU32(b, uint32(tr.Window()))
+	b = binenc.AppendI32(b, int32(tr.Cutoff()))
+	b = binenc.AppendString(b, tr.ModelName())
+	return payload(b), nil
+}
+
+// DecodeModel reads an artifact serialized by EncodeModel. Corrupt input —
+// wrong magic, truncation, out-of-range structure, trailing bytes — and
+// version mismatches yield errors, never panics.
+func DecodeModel(data []byte) (Trained, error) {
+	if len(data) < len(artifactMagic) || string(data[:4]) != string(artifactMagic[:]) {
+		return nil, fmt.Errorf("forecast: not a model artifact (bad magic)")
+	}
+	r := binenc.NewReader(data[4:])
+	if v := r.U16(); v != ArtifactVersion {
+		return nil, fmt.Errorf("forecast: artifact version %d unsupported (this build reads version %d)", v, ArtifactVersion)
+	}
+	kind := r.U8()
+	target := Target(r.U8())
+	meta := artifactMeta{
+		h:      int(r.U32()),
+		w:      int(r.U32()),
+		cutoff: int(r.I32()),
+		target: target,
+	}
+	meta.name = r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if target != BeHot && target != BecomeHot {
+		return nil, fmt.Errorf("forecast: artifact has unknown target %d", target)
+	}
+	if meta.h < 1 || meta.w < 1 {
+		return nil, fmt.Errorf("forecast: artifact has invalid task h=%d w=%d", meta.h, meta.w)
+	}
+
+	var tr Trained
+	switch kind {
+	case kindRandom, kindPersist, kindAverage, kindTrend, kindFallback:
+		tr = &baselineArtifact{artifactMeta: meta, kind: kind}
+	case kindTree, kindForest, kindGBT:
+		a := &classifierArtifact{artifactMeta: meta, kind: kind}
+		exName := r.String()
+		a.width = int(r.U32())
+		a.importances = r.F64s()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		ex, err := features.ByName(exName)
+		if err != nil {
+			return nil, err
+		}
+		a.extractor = ex
+		if a.width < 1 {
+			return nil, fmt.Errorf("forecast: artifact has invalid feature width %d", a.width)
+		}
+		var learnerFeatures int
+		switch kind {
+		case kindTree:
+			a.tree, err = mltree.DecodeTree(r)
+			if a.tree != nil {
+				learnerFeatures = a.tree.NumFeatures
+			}
+		case kindForest:
+			a.forest, err = mltree.DecodeForest(r)
+			if a.forest != nil {
+				learnerFeatures = a.forest.NumFeatures
+			}
+		default:
+			a.gbt, err = mltree.DecodeGBT(r)
+			if a.gbt != nil {
+				learnerFeatures = a.gbt.NumFeatures
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Predict slices prediction-matrix rows by width and hands them to
+		// the learner; a mismatch would panic there, so reject it at decode.
+		if learnerFeatures != a.width {
+			return nil, fmt.Errorf("forecast: artifact width %d does not match its learner's %d features", a.width, learnerFeatures)
+		}
+		tr = a
+	default:
+		return nil, fmt.Errorf("forecast: unknown artifact kind %d", kind)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// SaveModel writes a trained artifact to path in the versioned binary
+// format.
+func SaveModel(path string, tr Trained) error {
+	data, err := EncodeModel(tr)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadModelFile reads an artifact written by SaveModel.
+func LoadModelFile(path string) (Trained, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := DecodeModel(data)
+	if err != nil {
+		return nil, fmt.Errorf("forecast: %s: %w", path, err)
+	}
+	return tr, nil
+}

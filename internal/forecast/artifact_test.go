@@ -1,0 +1,236 @@
+package forecast
+
+import (
+	"strings"
+	"testing"
+)
+
+// artifactModels returns one instance of every model kind, with the GBT
+// thinned for test speed.
+func artifactModels() []Model {
+	gbt := NewGBT()
+	gbt.Config.Rounds = 8
+	return append(AllModels(), gbt)
+}
+
+// TestArtifactRoundTripAllModels: encode -> decode -> Predict must be
+// bit-identical to the fitted artifact, for every model kind, at the fit
+// day and at a later (serving) day.
+func TestArtifactRoundTripAllModels(t *testing.T) {
+	c := testContext(t, 100, 8, 31)
+	c.ForestTrees = 6
+	const fitT, h, w = 30, 2, 5
+	for _, m := range artifactModels() {
+		tr, err := m.Fit(c, BeHot, fitT, h, w)
+		if err != nil {
+			t.Fatalf("%s: fit: %v", m.Name(), err)
+		}
+		data, err := EncodeModel(tr)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", m.Name(), err)
+		}
+		again, err := EncodeModel(tr)
+		if err != nil || string(again) != string(data) {
+			t.Fatalf("%s: encoding not deterministic", m.Name())
+		}
+		got, err := DecodeModel(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Name(), err)
+		}
+		if got.ModelName() != tr.ModelName() || got.Target() != tr.Target() ||
+			got.Horizon() != h || got.Window() != w || got.Cutoff() != fitT-h {
+			t.Fatalf("%s: identity changed: %s/%v/%d/%d/%d", m.Name(),
+				got.ModelName(), got.Target(), got.Horizon(), got.Window(), got.Cutoff())
+		}
+		for _, day := range []int{fitT, fitT + 2} { // fit day, then serving a later day
+			want, err := tr.Predict(c, day, w)
+			if err != nil {
+				t.Fatalf("%s: predict t=%d: %v", m.Name(), day, err)
+			}
+			have, err := got.Predict(c, day, w)
+			if err != nil {
+				t.Fatalf("%s: decoded predict t=%d: %v", m.Name(), day, err)
+			}
+			for i := range want {
+				if want[i] != have[i] {
+					t.Fatalf("%s: t=%d sector %d: %v != %v after round trip", m.Name(), day, i, want[i], have[i])
+				}
+			}
+		}
+	}
+}
+
+// TestArtifactRoundTripFallback: the degenerate-labels fallback artifact
+// serializes like any other kind and predicts the Average ranking.
+func TestArtifactRoundTripFallback(t *testing.T) {
+	c := testContext(t, 60, 8, 32)
+	tr := Trained(&baselineArtifact{artifactMeta{name: "RF-F1", target: BecomeHot, h: 2, w: 5, cutoff: 28}, kindFallback})
+	data, err := EncodeModel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.Predict(c, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.Predict(c, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := (AverageModel{}).Forecast(c, BecomeHot, 30, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != have[i] || want[i] != avg[i] {
+			t.Fatalf("sector %d: fallback %v / decoded %v / Average %v", i, want[i], have[i], avg[i])
+		}
+	}
+}
+
+// TestArtifactDecodeRejectsCorruption: truncations, bad magic, version
+// mismatches, unknown kinds and trailing bytes must all error — never
+// panic, never decode silently.
+func TestArtifactDecodeRejectsCorruption(t *testing.T) {
+	c := testContext(t, 80, 8, 33)
+	c.ForestTrees = 4
+	tr, err := NewRFF1().Fit(c, BeHot, 28, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeModel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every truncation must fail (step keeps the loop fast on big payloads).
+	for cut := 0; cut < len(data); cut += 11 {
+		if _, err := DecodeModel(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded cleanly", cut, len(data))
+		}
+	}
+
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := DecodeModel(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic accepted (err=%v)", err)
+	}
+
+	// Version mismatch (little-endian u16 at offset 4).
+	bad = append([]byte(nil), data...)
+	bad[4] = byte(ArtifactVersion + 1)
+	if _, err := DecodeModel(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version accepted (err=%v)", err)
+	}
+
+	// Unknown kind byte (offset 6).
+	bad = append([]byte(nil), data...)
+	bad[6] = 0xEE
+	if _, err := DecodeModel(bad); err == nil {
+		t.Fatal("unknown artifact kind accepted")
+	}
+
+	// Trailing bytes.
+	if _, err := DecodeModel(append(append([]byte(nil), data...), 0, 1, 2)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestSaveLoadModelFile: the disk round trip (hotforecast -model-out,
+// hotserve -models) preserves predictions bit-exactly.
+func TestSaveLoadModelFile(t *testing.T) {
+	c := testContext(t, 80, 8, 34)
+	tr, err := NewTreeModel().Fit(c, BeHot, 28, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.hotm"
+	if err := SaveModel(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.Predict(c, 28, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.Predict(c, 28, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("sector %d differs after disk round trip", i)
+		}
+	}
+	if _, err := LoadModelFile(t.TempDir() + "/missing.hotm"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestClassifierArtifactRejectsMismatchedWindow: a window whose feature
+// width differs from the trained width must be rejected (raw/percentile
+// widths scale with w).
+func TestClassifierArtifactRejectsMismatchedWindow(t *testing.T) {
+	c := testContext(t, 80, 8, 35)
+	c.ForestTrees = 4
+	tr, err := NewRFF1().Fit(c, BeHot, 28, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Predict(c, 28, 5); err == nil || !strings.Contains(err.Error(), "features") {
+		t.Fatalf("mismatched window accepted (err=%v)", err)
+	}
+}
+
+// TestArtifactDecodeRejectsWidthMismatch: an artifact whose width field
+// disagrees with its embedded learner would panic at predict time; decode
+// must reject it instead.
+func TestArtifactDecodeRejectsWidthMismatch(t *testing.T) {
+	c := testContext(t, 80, 8, 41)
+	tr, err := NewTreeModel().Fit(c, BeHot, 28, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := *(tr.(*classifierArtifact))
+	art.width++ // desynchronise the width field from the learner
+	data, err := EncodeModel(&art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeModel(data); err == nil || !strings.Contains(err.Error(), "width") {
+		t.Fatalf("width/learner mismatch accepted (err=%v)", err)
+	}
+}
+
+// TestBaselineArtifactsRejectEdgePredict: baselines read day t itself
+// (labels, or the day-t-inclusive score window), so t == Days() must be
+// rejected rather than silently averaging a clamped window; Random reads
+// no data and still serves the edge.
+func TestBaselineArtifactsRejectEdgePredict(t *testing.T) {
+	c := testContext(t, 60, 6, 42)
+	edge := c.Days()
+	for _, m := range Baselines() {
+		tr, err := m.Fit(c, BeHot, edge-6, 2, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		_, err = tr.Predict(c, edge, 3)
+		if m.Name() == "Random" {
+			if err != nil {
+				t.Fatalf("Random edge predict: %v", err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("%s predicted at t=Days() from a clamped window", m.Name())
+		}
+	}
+}

@@ -2,31 +2,36 @@ package forecast
 
 import (
 	"repro/internal/randx"
-	"repro/internal/score"
 )
 
 // RandomModel is F^0: uniform random scores G(0, 1). Its measured average
-// precision defines chance level, the denominator of every lift.
-type RandomModel struct {
-	// Draws averages this many independent random rankings' scores are NOT
-	// averaged — each Forecast call returns one fresh ranking. Evaluation
-	// code averages psi over repeated calls instead (see Sweep).
+// precision defines chance level, the denominator of every lift. Each
+// Forecast call returns one fresh ranking (keyed by (seed, t, h), never by
+// call order); evaluation code averages psi over repeated calls instead
+// (see Sweep).
+type RandomModel struct{}
+
+// randomRNG derives the ranking stream for one (t, h) — shared by the
+// model and its artifact so Fit+Predict is bit-identical to Forecast.
+func randomRNG(c *Context, t, h int) *randx.RNG {
+	return randx.DeriveIndexed(c.Seed, 0xF0, "random-model", t*1000+h)
 }
 
 // Name implements Model.
 func (RandomModel) Name() string { return "Random" }
 
-// Forecast implements Model.
-func (RandomModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
-	if err := c.CheckTask(t, h, w); err != nil {
+// Fit implements Model: the artifact captures only the task identity (the
+// horizon keys the prediction stream).
+func (m RandomModel) Fit(c *Context, target Target, t, h, w int) (Trained, error) {
+	if err := c.CheckFit(t, h, w); err != nil {
 		return nil, err
 	}
-	rng := randx.DeriveIndexed(c.Seed, 0xF0, "random-model", t*1000+h)
-	out := make([]float64, c.Sectors())
-	for i := range out {
-		out[i] = rng.Float64()
-	}
-	return out, nil
+	return &baselineArtifact{baselineMeta(m.Name(), target, t, h, w), kindRandom}, nil
+}
+
+// Forecast implements Model.
+func (m RandomModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
+	return fitPredict(m, c, target, t, h, w)
 }
 
 // PersistModel forecasts Yhat_{i,t+h} = Y_{i,t}: the target's current value
@@ -38,17 +43,17 @@ type PersistModel struct{}
 // Name implements Model.
 func (PersistModel) Name() string { return "Persist" }
 
-// Forecast implements Model.
-func (PersistModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
-	if err := c.CheckTask(t, h, w); err != nil {
+// Fit implements Model.
+func (m PersistModel) Fit(c *Context, target Target, t, h, w int) (Trained, error) {
+	if err := c.CheckFit(t, h, w); err != nil {
 		return nil, err
 	}
-	y := c.Labels(target)
-	out := make([]float64, c.Sectors())
-	for i := range out {
-		out[i] = y.At(i, t)
-	}
-	return out, nil
+	return &baselineArtifact{baselineMeta(m.Name(), target, t, h, w), kindPersist}, nil
+}
+
+// Forecast implements Model.
+func (m PersistModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
+	return fitPredict(m, c, target, t, h, w)
 }
 
 // AverageModel forecasts with the mean daily score over the past window:
@@ -59,16 +64,17 @@ type AverageModel struct{}
 // Name implements Model.
 func (AverageModel) Name() string { return "Average" }
 
-// Forecast implements Model.
-func (AverageModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
-	if err := c.CheckTask(t, h, w); err != nil {
+// Fit implements Model.
+func (m AverageModel) Fit(c *Context, target Target, t, h, w int) (Trained, error) {
+	if err := c.CheckFit(t, h, w); err != nil {
 		return nil, err
 	}
-	out := make([]float64, c.Sectors())
-	for i := range out {
-		out[i] = sanitizeScore(score.Mu(t, w, c.Sd.Row(i)))
-	}
-	return out, nil
+	return &baselineArtifact{baselineMeta(m.Name(), target, t, h, w), kindAverage}, nil
+}
+
+// Forecast implements Model.
+func (m AverageModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
+	return fitPredict(m, c, target, t, h, w)
 }
 
 // TrendModel adds a linear projection of the recent score trend to the
@@ -84,25 +90,23 @@ type TrendModel struct{}
 // Name implements Model.
 func (TrendModel) Name() string { return "Trend" }
 
-// Forecast implements Model.
-func (TrendModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
-	if err := c.CheckTask(t, h, w); err != nil {
+// Fit implements Model.
+func (m TrendModel) Fit(c *Context, target Target, t, h, w int) (Trained, error) {
+	if err := c.CheckFit(t, h, w); err != nil {
 		return nil, err
 	}
-	out := make([]float64, c.Sectors())
-	half := w / 2
-	for i := range out {
-		row := c.Sd.Row(i)
-		avg := sanitizeScore(score.Mu(t, w, row))
-		if half < 1 {
-			out[i] = avg
-			continue
-		}
-		recent := sanitizeScore(score.Mu(t, half, row))
-		earlier := sanitizeScore(score.Mu(t-half, half, row))
-		out[i] = avg + (recent-earlier)/float64(half)
-	}
-	return out, nil
+	return &baselineArtifact{baselineMeta(m.Name(), target, t, h, w), kindTrend}, nil
+}
+
+// Forecast implements Model.
+func (m TrendModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
+	return fitPredict(m, c, target, t, h, w)
+}
+
+// baselineMeta assembles the shared artifact identity for a fit at
+// (target, t, h, w).
+func baselineMeta(name string, target Target, t, h, w int) artifactMeta {
+	return artifactMeta{name: name, target: target, h: h, w: w, cutoff: t - h}
 }
 
 // sanitizeScore maps NaN (no data in window) to 0 so rankings stay total.

@@ -154,13 +154,32 @@ func trainingMatrix(c *Context, ex features.Extractor, t, h, w int) ([]float64, 
 	return x, width, nil
 }
 
-// Forecast implements Model: fit per Eq. 7, predict per Eq. 6.
-func (m *ClassifierModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
-	if err := c.CheckTask(t, h, w); err != nil {
+// fitFingerprint implements cacheableModel: the trained-model cache key's
+// model component, covering every knob that shapes the fit. Sector-subset
+// ablations opt out — their bespoke training rows are not captured by the
+// (fingerprint, target, cutoff, h, w) key.
+func (m *ClassifierModel) fitFingerprint(c *Context) (string, bool) {
+	if m.SectorSubset != nil {
+		return "", false
+	}
+	return fmt.Sprintf("%s|ex=%s|single=%t|unbal=%t|trees=%d|days=%d",
+		m.ModelName, m.Extractor.Name(), m.SingleTree, m.Unbalanced, c.ForestTrees, c.TrainDays), true
+}
+
+// Fit implements Model: train per Eq. 7 and capture the learner — plus the
+// feature representation needed to rebuild prediction matrices — in an
+// immutable artifact. A degenerate training slice (single-class labels)
+// yields a fallback artifact that predicts the strongest baseline ranking
+// (Average) instead of fitting a single-class model; the paper's
+// country-scale data always has both classes, small reproductions
+// occasionally do not.
+func (m *ClassifierModel) Fit(c *Context, target Target, t, h, w int) (Trained, error) {
+	if err := c.CheckFit(t, h, w); err != nil {
 		return nil, err
 	}
 	n := c.Sectors()
 	y := c.Labels(target)
+	meta := artifactMeta{name: m.ModelName, target: target, h: h, w: w, cutoff: t - h}
 
 	// Assemble the training set: TrainDays label days, h-delayed windows.
 	allSectors := m.SectorSubset == nil
@@ -173,11 +192,7 @@ func (m *ClassifierModel) Forecast(c *Context, target Target, t, h, w int) ([]fl
 	}
 	labels, positives := trainingLabels(c, y, trainSectors, t)
 	if positives == 0 || positives == len(labels) {
-		// Degenerate training day(s): fall back to the strongest baseline
-		// ranking rather than fitting a single-class model. The paper's
-		// country-scale data always has both classes; small reproductions
-		// occasionally do not.
-		return (AverageModel{}).Forecast(c, target, t, h, w)
+		return &baselineArtifact{meta, kindFallback}, nil
 	}
 
 	var x []float64
@@ -199,7 +214,7 @@ func (m *ClassifierModel) Forecast(c *Context, target Target, t, h, w int) ([]fl
 		weights = mltree.BalancedWeights(labels, 2)
 	}
 
-	var predict func([]float64) []float64
+	art := &classifierArtifact{artifactMeta: meta, extractor: m.Extractor, width: width}
 	seed := c.Seed ^ uint64(t)<<24 ^ uint64(h)<<12 ^ uint64(w)
 	if m.SingleTree {
 		rng := randx.DeriveIndexed(seed, 0x7e11, "tree-model", t)
@@ -207,8 +222,9 @@ func (m *ClassifierModel) Forecast(c *Context, target Target, t, h, w int) ([]fl
 		if err != nil {
 			return nil, fmt.Errorf("forecast: fitting tree: %w", err)
 		}
-		m.setImportances(tree.Importances())
-		predict = tree.PredictProba
+		art.kind = kindTree
+		art.tree = tree
+		art.importances = tree.Importances()
 	} else {
 		cfg := mltree.ForestConfig{
 			NumTrees:  c.ForestTrees,
@@ -221,23 +237,31 @@ func (m *ClassifierModel) Forecast(c *Context, target Target, t, h, w int) ([]fl
 		if err != nil {
 			return nil, fmt.Errorf("forecast: fitting forest: %w", err)
 		}
-		m.setImportances(forest.Importances())
-		predict = forest.PredictProba
+		art.kind = kindForest
+		art.forest = forest
+		art.importances = forest.Importances()
 	}
+	return art, nil
+}
 
-	// Predict for every sector from the window ending at t (Eq. 6). The
-	// prediction matrix depends only on (extractor, t, w), so every horizon
-	// at this (t, w) shares one cached build; prediction reads the handle
-	// in place, no copy.
-	pmat, err := c.FeatureMatrix(m.Extractor, t, w)
+// Forecast implements Model: the Fit+Predict shim, with fits served from
+// the trained-model cache. Prediction reads the (extractor, t, w) matrix
+// through the feature cache, so every horizon at a fixed (t, w) shares one
+// build.
+func (m *ClassifierModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
+	if err := c.CheckTask(t, h, w); err != nil {
+		return nil, err
+	}
+	tr, err := c.TrainedModel(m, target, t, h, w)
 	if err != nil {
-		return nil, fmt.Errorf("forecast: building prediction matrix: %w", err)
+		return nil, err
 	}
-	out := make([]float64, n)
-	for i := 0; i < n; i++ {
-		out[i] = predict(pmat.Data[i*width : (i+1)*width])[1]
+	// Surface the fit's importances on the model, as the pre-split Forecast
+	// did; a fallback artifact records none.
+	if ca, ok := tr.(*classifierArtifact); ok {
+		m.setImportances(ca.importances)
 	}
-	return out, nil
+	return tr.Predict(c, t, w)
 }
 
 // Baselines returns the paper's four baseline models in Table III order.

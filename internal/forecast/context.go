@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/featcache"
 	"repro/internal/features"
+	"repro/internal/modelcache"
 	"repro/internal/score"
 	"repro/internal/tensor"
 	"repro/internal/timegrid"
@@ -19,6 +20,10 @@ import (
 // DefaultCacheBytes is the feature-matrix cache budget used when
 // Context.CacheBytes is zero: 256 MiB.
 const DefaultCacheBytes int64 = 256 << 20
+
+// DefaultModelCacheBytes is the trained-model cache budget used when
+// Context.ModelCacheBytes is zero: 64 MiB.
+const DefaultModelCacheBytes int64 = 64 << 20
 
 // Target selects which binary variable is being forecast.
 type Target int
@@ -67,10 +72,21 @@ type Context struct {
 	// negative value disables caching entirely. Reconfigure only between
 	// sweeps, never while one is running.
 	CacheBytes int64
+	// ModelCacheBytes bounds the shared trained-model cache (an LRU by byte
+	// budget, see internal/modelcache): 0 selects DefaultModelCacheBytes, a
+	// negative value disables trained-model caching. Fits are deterministic
+	// per training task, so a cached artifact predicts bit-identically to a
+	// refit; disable it only to measure raw fit cost (the perf benches do).
+	// Reconfigure only between sweeps, never while one is running.
+	ModelCacheBytes int64
 
 	cacheMu    sync.Mutex
 	cache      *featcache.Cache
 	cacheLimit int64
+
+	modelMu    sync.Mutex
+	models     *modelcache.Cache[Trained]
+	modelLimit int64
 }
 
 // NewContext assembles a Context from a scored dataset.
@@ -105,9 +121,36 @@ func (c *Context) Sectors() int { return c.View.Sectors() }
 // Days returns m^d.
 func (c *Context) Days() int { return c.View.Hours() / timegrid.HoursPerDay }
 
-// CheckTask validates a (t, h, w) combination: training needs the window
-// ending at t-h (with TrainDays of history) and evaluation needs day t+h.
+// CheckTask validates a (t, h, w) evaluation task: training needs the
+// window ending at t-h (with TrainDays of history) and evaluation needs
+// day t+h inside the grid.
 func (c *Context) CheckTask(t, h, w int) error {
+	if err := c.checkHistory(t, h, w); err != nil {
+		return err
+	}
+	if t+h >= c.Days() {
+		return fmt.Errorf("forecast: evaluation day t+h=%d outside grid of %d days", t+h, c.Days())
+	}
+	return nil
+}
+
+// CheckFit validates that the training data for a fit at (t, h, w) exists:
+// TrainDays label days ending at t, each paired with a w-day feature
+// window ending h days earlier. Unlike CheckTask it does not require day
+// t+h — an artifact fitted at the edge of the data serves genuinely future
+// forecasts.
+func (c *Context) CheckFit(t, h, w int) error {
+	if err := c.checkHistory(t, h, w); err != nil {
+		return err
+	}
+	if t >= c.Days() {
+		return fmt.Errorf("forecast: fit at t=%d needs labels inside the grid of %d days", t, c.Days())
+	}
+	return nil
+}
+
+// checkHistory is the shared backward-looking half of CheckTask/CheckFit.
+func (c *Context) checkHistory(t, h, w int) error {
 	if h < 1 {
 		return fmt.Errorf("forecast: horizon %d < 1", h)
 	}
@@ -118,8 +161,21 @@ func (c *Context) CheckTask(t, h, w int) error {
 	if earliest < 0 {
 		return fmt.Errorf("forecast: t=%d h=%d w=%d needs day %d of history", t, h, w, earliest)
 	}
-	if t+h >= c.Days() {
-		return fmt.Errorf("forecast: evaluation day t+h=%d outside grid of %d days", t+h, c.Days())
+	return nil
+}
+
+// CheckPredict validates a (t, w) prediction input: the w-day feature
+// window ending (exclusive) at day t must lie inside the grid. t equal to
+// Days() is allowed — predicting off the final day is the serving case.
+func (c *Context) CheckPredict(t, w int) error {
+	if w < 1 {
+		return fmt.Errorf("forecast: window %d < 1", w)
+	}
+	if t-w < 0 {
+		return fmt.Errorf("forecast: prediction at t=%d needs day %d of history", t, t-w)
+	}
+	if t > c.Days() {
+		return fmt.Errorf("forecast: prediction day t=%d outside grid of %d days", t, c.Days())
 	}
 	return nil
 }
@@ -167,11 +223,85 @@ func (c *Context) FeatureMatrix(ex features.Extractor, end, w int) (*featcache.M
 // Model is a hot-spot forecaster. Given the data available at day t it
 // produces, for every sector, a ranking score for the probability of being
 // (or becoming) a hot spot at day t+h, using at most w days of history
-// (Eq. 6). Fit may be a no-op for the baselines; classifier models train on
-// the h-delayed slice per Eq. 7.
+// (Eq. 6).
+//
+// The contract is two-phase: Fit trains on the h-delayed slice per Eq. 7
+// (a no-op capture for the baselines) and returns an immutable Trained
+// artifact; the artifact's Predict scores any later day from the window
+// ending there. Forecast is the one-shot convenience that fits (through
+// the Context's trained-model cache) and predicts at the same day.
 type Model interface {
 	// Name is the paper's model name.
 	Name() string
-	// Forecast returns one ranking score per sector for day t+h.
+	// Fit trains the model for horizon h on the data available at day t
+	// (labels through t, feature windows of w days ending h days before
+	// each label day) and returns the immutable artifact.
+	Fit(c *Context, target Target, t, h, w int) (Trained, error)
+	// Forecast returns one ranking score per sector for day t+h: the
+	// Fit+Predict shim.
 	Forecast(c *Context, target Target, t, h, w int) ([]float64, error)
+}
+
+// cacheableModel is implemented by models whose fits are expensive and
+// fully determined by (fingerprint, target, t, h, w) on a fixed Context.
+// The fingerprint must encode every hyper-parameter that shapes the fit —
+// two model values that agree on it train byte-identical artifacts — and
+// ok=false opts a configuration out (e.g. the sector-subset ablation,
+// whose training rows are not part of the key).
+type cacheableModel interface {
+	fitFingerprint(c *Context) (fp string, ok bool)
+}
+
+// ModelCache returns the shared trained-model cache, creating it on first
+// use; nil when ModelCacheBytes is negative. Changing ModelCacheBytes
+// between sweeps replaces the cache with a freshly budgeted (empty) one.
+func (c *Context) ModelCache() *modelcache.Cache[Trained] {
+	if c.ModelCacheBytes < 0 {
+		return nil
+	}
+	limit := c.ModelCacheBytes
+	if limit == 0 {
+		limit = DefaultModelCacheBytes
+	}
+	c.modelMu.Lock()
+	defer c.modelMu.Unlock()
+	if c.models == nil || c.modelLimit != limit {
+		c.models = modelcache.New[Trained](limit)
+		c.modelLimit = limit
+	}
+	return c.models
+}
+
+// TrainedModel returns the fitted artifact for (m, target, t, h, w),
+// through the shared trained-model cache when the model is cacheable and
+// the cache enabled. Fits are deterministic per task, so a cached artifact
+// is bit-identical to a fresh fit; concurrent callers for one task share a
+// single fit.
+func (c *Context) TrainedModel(m Model, target Target, t, h, w int) (Trained, error) {
+	if cm, ok := m.(cacheableModel); ok {
+		if cache := c.ModelCache(); cache != nil {
+			if fp, cacheable := cm.fitFingerprint(c); cacheable {
+				key := modelcache.Key{Model: fp, Target: int(target), Cutoff: t - h, H: h, W: w}
+				return cache.GetOrFit(key, func() (Trained, error) {
+					return m.Fit(c, target, t, h, w)
+				})
+			}
+		}
+	}
+	return m.Fit(c, target, t, h, w)
+}
+
+// fitPredict is the Fit+Predict shim behind every Model.Forecast: validate
+// the full evaluation task (matching the pre-split Forecast contract),
+// obtain the artifact through the trained-model cache, and predict at the
+// fit day.
+func fitPredict(m Model, c *Context, target Target, t, h, w int) ([]float64, error) {
+	if err := c.CheckTask(t, h, w); err != nil {
+		return nil, err
+	}
+	tr, err := c.TrainedModel(m, target, t, h, w)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Predict(c, t, w)
 }

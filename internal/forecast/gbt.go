@@ -31,21 +31,34 @@ func (m *GBTModel) Name() string { return "GBT-F1" }
 // featureExtractor implements the sweep planner's discovery hook.
 func (m *GBTModel) featureExtractor() features.Extractor { return m.Extractor }
 
-// Forecast implements Model with the same Eq. 6/7 protocol as the paper's
-// classifiers, over the shared feature-matrix cache.
-func (m *GBTModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
-	if err := c.CheckTask(t, h, w); err != nil {
+// fitFingerprint implements cacheableModel, covering every boosting knob
+// that shapes the fit (custom-configured GBT variants must not collide in
+// the cache). Config.Seed is excluded: Fit derives the training seed from
+// the context and task, overwriting it.
+func (m *GBTModel) fitFingerprint(c *Context) (string, bool) {
+	cfg := m.Config
+	return fmt.Sprintf("GBT|ex=%s|r=%d|lr=%g|depth=%d|leaf=%d|sub=%g|days=%d",
+		m.Extractor.Name(), cfg.Rounds, cfg.Shrinkage, cfg.MaxDepth, cfg.MinSamplesLeaf,
+		cfg.SubsampleFraction, c.TrainDays), true
+}
+
+// Fit implements Model with the same Eq. 7 protocol as the paper's
+// classifiers, over the shared feature-matrix cache; the boosted ensemble
+// is captured in an immutable artifact.
+func (m *GBTModel) Fit(c *Context, target Target, t, h, w int) (Trained, error) {
+	if err := c.CheckFit(t, h, w); err != nil {
 		return nil, err
 	}
 	n := c.Sectors()
 	y := c.Labels(target)
+	meta := artifactMeta{name: m.Name(), target: target, h: h, w: w, cutoff: t - h}
 	trainSectors := make([]int, n)
 	for i := range trainSectors {
 		trainSectors[i] = i
 	}
 	labels, positives := trainingLabels(c, y, trainSectors, t)
 	if positives == 0 || positives == len(labels) {
-		return (AverageModel{}).Forecast(c, target, t, h, w)
+		return &baselineArtifact{meta, kindFallback}, nil
 	}
 	x, width, err := trainingMatrix(c, m.Extractor, t, h, w)
 	if err != nil {
@@ -58,13 +71,11 @@ func (m *GBTModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, 
 	if err != nil {
 		return nil, fmt.Errorf("forecast: fitting GBT: %w", err)
 	}
-	pmat, err := c.FeatureMatrix(m.Extractor, t, w)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float64, n)
-	for i := 0; i < n; i++ {
-		out[i] = g.PredictProba(pmat.Data[i*width : (i+1)*width])[1]
-	}
-	return out, nil
+	return &classifierArtifact{artifactMeta: meta, kind: kindGBT, extractor: m.Extractor, width: width, gbt: g}, nil
+}
+
+// Forecast implements Model: the Fit+Predict shim, with fits served from
+// the trained-model cache.
+func (m *GBTModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
+	return fitPredict(m, c, target, t, h, w)
 }

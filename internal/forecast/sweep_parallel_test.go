@@ -64,6 +64,9 @@ func TestSweepParallelMatchesSequentialClassifiers(t *testing.T) {
 	}
 	c := testContext(t, 80, 8, 22)
 	c.ForestTrees = 6
+	// Disable the trained-model cache: this test must re-run the classifier
+	// fits at both worker counts, not serve the second sweep from the first.
+	c.ModelCacheBytes = -1
 	cfg := SweepConfig{
 		Models:        []Model{NewTreeModel(), NewRFF1()},
 		Target:        BeHot,
@@ -94,6 +97,9 @@ func TestSweepCachedMatchesUncachedTiny(t *testing.T) {
 	c := testContext(t, 60, 8, 25)
 	c.ForestTrees = 4
 	c.FitWorkers = 1
+	// Isolate the feature cache: the trained-model cache would otherwise
+	// serve the cached arms' fits from the uncached arm.
+	c.ModelCacheBytes = -1
 	cfg := SweepConfig{
 		Models:        []Model{AverageModel{}, NewTreeModel()},
 		Target:        BeHot,
@@ -132,6 +138,8 @@ func TestSweepCachedMatchesUncached(t *testing.T) {
 	c := testContext(t, 80, 8, 26)
 	c.ForestTrees = 6
 	c.FitWorkers = 1
+	// Isolate the feature cache (see TestSweepCachedMatchesUncachedTiny).
+	c.ModelCacheBytes = -1
 	gbt := NewGBT()
 	gbt.Config.Rounds = 8
 	cfg := SweepConfig{
@@ -234,7 +242,8 @@ func TestSweepSpeedup(t *testing.T) {
 	}
 	c := testContext(t, 150, 10, 23)
 	c.ForestTrees = 12
-	c.FitWorkers = 1 // one thread per grid point: the sweep pool is the lever
+	c.FitWorkers = 1       // one thread per grid point: the sweep pool is the lever
+	c.ModelCacheBytes = -1 // refit per run: cached fits would erase the speedup being measured
 	cfg := SweepConfig{
 		Models:        []Model{NewRFF1()},
 		Target:        BeHot,

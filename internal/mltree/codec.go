@@ -1,0 +1,260 @@
+package mltree
+
+import (
+	"fmt"
+
+	"repro/internal/binenc"
+)
+
+// This file is the binary codec for every learner the package fits:
+// classification trees, random forests, regression trees and GBT
+// ensembles. The encoding is little-endian and positional (no field tags);
+// versioning lives one level up, in the forecast artifact envelope that
+// embeds these payloads. Thresholds, probabilities and leaf values are
+// stored as raw IEEE-754 bits, so a decoded model predicts bit-identically
+// to the fitted one.
+//
+// Decoders validate structure — node counts against the remaining buffer,
+// child indices against the node table, leaf/internal invariants — so a
+// corrupt or truncated payload fails with an error instead of an
+// out-of-range panic at predict time.
+
+// AppendBinary appends the tree's encoding to b.
+func (t *Tree) AppendBinary(b []byte) []byte {
+	b = binenc.AppendU32(b, uint32(t.NumFeatures))
+	b = binenc.AppendU32(b, uint32(t.NumClasses))
+	b = binenc.AppendU32(b, uint32(len(t.nodes)))
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		b = binenc.AppendI32(b, nd.feature)
+		if nd.feature < 0 {
+			b = binenc.AppendF64s(b, nd.probs)
+			continue
+		}
+		b = binenc.AppendF64(b, nd.threshold)
+		b = binenc.AppendI32(b, nd.left)
+		b = binenc.AppendI32(b, nd.right)
+	}
+	return binenc.AppendF64s(b, t.importances)
+}
+
+// DecodeTree reads one tree from r.
+func DecodeTree(r *binenc.Reader) (*Tree, error) {
+	f := int(r.U32())
+	classes := int(r.U32())
+	count := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if f < 1 || classes < 2 {
+		return nil, fmt.Errorf("mltree: decoded tree shape %d features x %d classes", f, classes)
+	}
+	// Every node is at least 4 bytes (its feature tag), so a count larger
+	// than the remaining buffer is corrupt, not just big.
+	if count < 1 || count*4 > r.Remaining() {
+		return nil, fmt.Errorf("mltree: decoded node count %d does not fit %d remaining bytes", count, r.Remaining())
+	}
+	t := &Tree{NumFeatures: f, NumClasses: classes, nodes: make([]node, count)}
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		nd.feature = r.I32()
+		if nd.feature < 0 {
+			nd.feature = -1
+			nd.probs = r.F64s()
+			if r.Err() == nil && len(nd.probs) != classes {
+				return nil, fmt.Errorf("mltree: leaf %d has %d probs for %d classes", i, len(nd.probs), classes)
+			}
+			continue
+		}
+		if int(nd.feature) >= f {
+			return nil, fmt.Errorf("mltree: node %d splits on feature %d of %d", i, nd.feature, f)
+		}
+		nd.threshold = r.F64()
+		nd.left = r.I32()
+		nd.right = r.I32()
+		// Children must point forward: grown trees reserve the parent slot
+		// before appending children, so child > parent always holds, and
+		// requiring it rejects cycles that would spin Predict forever.
+		if r.Err() == nil && (int(nd.left) <= i || int(nd.left) >= count || int(nd.right) <= i || int(nd.right) >= count) {
+			return nil, fmt.Errorf("mltree: node %d has children (%d, %d) outside (%d,%d)", i, nd.left, nd.right, i, count)
+		}
+	}
+	t.importances = r.F64s()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if t.importances != nil && len(t.importances) != f {
+		return nil, fmt.Errorf("mltree: %d importances for %d features", len(t.importances), f)
+	}
+	return t, nil
+}
+
+// SizeBytes estimates the tree's in-memory footprint (for cache budgets).
+func (t *Tree) SizeBytes() int64 {
+	size := int64(len(t.nodes)) * 48 // node struct incl. probs slice header
+	for i := range t.nodes {
+		size += int64(len(t.nodes[i].probs)) * 8
+	}
+	return size + int64(len(t.importances))*8 + 48
+}
+
+// AppendBinary appends the forest's encoding to b.
+func (fo *Forest) AppendBinary(b []byte) []byte {
+	b = binenc.AppendU32(b, uint32(fo.NumFeatures))
+	b = binenc.AppendU32(b, uint32(fo.NumClasses))
+	b = binenc.AppendU32(b, uint32(len(fo.Trees)))
+	for _, t := range fo.Trees {
+		b = t.AppendBinary(b)
+	}
+	return b
+}
+
+// DecodeForest reads one forest from r.
+func DecodeForest(r *binenc.Reader) (*Forest, error) {
+	f := int(r.U32())
+	classes := int(r.U32())
+	count := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// A tree payload is at least 16 bytes (shape words + empty importances).
+	if count < 1 || count*16 > r.Remaining() {
+		return nil, fmt.Errorf("mltree: decoded forest size %d does not fit %d remaining bytes", count, r.Remaining())
+	}
+	fo := &Forest{NumFeatures: f, NumClasses: classes, Trees: make([]*Tree, count)}
+	for i := range fo.Trees {
+		t, err := DecodeTree(r)
+		if err != nil {
+			return nil, fmt.Errorf("mltree: forest tree %d: %w", i, err)
+		}
+		if t.NumFeatures != f || t.NumClasses != classes {
+			return nil, fmt.Errorf("mltree: forest tree %d shape %dx%d != forest %dx%d",
+				i, t.NumFeatures, t.NumClasses, f, classes)
+		}
+		fo.Trees[i] = t
+	}
+	return fo, nil
+}
+
+// SizeBytes estimates the forest's in-memory footprint.
+func (fo *Forest) SizeBytes() int64 {
+	size := int64(64)
+	for _, t := range fo.Trees {
+		size += t.SizeBytes()
+	}
+	return size
+}
+
+// AppendBinary appends the regression tree's encoding to b.
+func (t *RegressionTree) AppendBinary(b []byte) []byte {
+	b = binenc.AppendU32(b, uint32(t.NumFeatures))
+	b = binenc.AppendU32(b, uint32(len(t.nodes)))
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		b = binenc.AppendI32(b, nd.feature)
+		if nd.feature < 0 {
+			b = binenc.AppendF64(b, nd.value)
+			b = binenc.AppendI32(b, nd.leafID)
+			continue
+		}
+		b = binenc.AppendF64(b, nd.threshold)
+		b = binenc.AppendI32(b, nd.left)
+		b = binenc.AppendI32(b, nd.right)
+	}
+	return b
+}
+
+// DecodeRegressionTree reads one regression tree from r.
+func DecodeRegressionTree(r *binenc.Reader) (*RegressionTree, error) {
+	f := int(r.U32())
+	count := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if f < 1 {
+		return nil, fmt.Errorf("mltree: decoded regression tree with %d features", f)
+	}
+	if count < 1 || count*4 > r.Remaining() {
+		return nil, fmt.Errorf("mltree: decoded node count %d does not fit %d remaining bytes", count, r.Remaining())
+	}
+	t := &RegressionTree{NumFeatures: f, nodes: make([]rnode, count)}
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		nd.feature = r.I32()
+		if nd.feature < 0 {
+			nd.feature = -1
+			nd.value = r.F64()
+			nd.leafID = r.I32()
+			if r.Err() == nil && nd.leafID < 0 {
+				return nil, fmt.Errorf("mltree: leaf node %d has leaf id %d", i, nd.leafID)
+			}
+			continue
+		}
+		if int(nd.feature) >= f {
+			return nil, fmt.Errorf("mltree: node %d splits on feature %d of %d", i, nd.feature, f)
+		}
+		nd.leafID = -1
+		nd.threshold = r.F64()
+		nd.left = r.I32()
+		nd.right = r.I32()
+		// Forward-only children: see DecodeTree — rejects decode-time cycles.
+		if r.Err() == nil && (int(nd.left) <= i || int(nd.left) >= count || int(nd.right) <= i || int(nd.right) >= count) {
+			return nil, fmt.Errorf("mltree: node %d has children (%d, %d) outside (%d,%d)", i, nd.left, nd.right, i, count)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SizeBytes estimates the regression tree's in-memory footprint.
+func (t *RegressionTree) SizeBytes() int64 {
+	return int64(len(t.nodes))*40 + 48
+}
+
+// AppendBinary appends the boosted ensemble's encoding to b.
+func (g *GBT) AppendBinary(b []byte) []byte {
+	b = binenc.AppendF64(b, g.prior)
+	b = binenc.AppendF64(b, g.shrinkage)
+	b = binenc.AppendU32(b, uint32(g.NumFeatures))
+	b = binenc.AppendU32(b, uint32(len(g.trees)))
+	for _, t := range g.trees {
+		b = t.AppendBinary(b)
+	}
+	return b
+}
+
+// DecodeGBT reads one boosted ensemble from r.
+func DecodeGBT(r *binenc.Reader) (*GBT, error) {
+	g := &GBT{prior: r.F64(), shrinkage: r.F64(), NumFeatures: int(r.U32())}
+	count := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// A regression-tree payload is at least 12 bytes.
+	if count < 1 || count*12 > r.Remaining() {
+		return nil, fmt.Errorf("mltree: decoded GBT round count %d does not fit %d remaining bytes", count, r.Remaining())
+	}
+	g.trees = make([]*RegressionTree, count)
+	for i := range g.trees {
+		t, err := DecodeRegressionTree(r)
+		if err != nil {
+			return nil, fmt.Errorf("mltree: GBT stage %d: %w", i, err)
+		}
+		if t.NumFeatures != g.NumFeatures {
+			return nil, fmt.Errorf("mltree: GBT stage %d has %d features, ensemble %d", i, t.NumFeatures, g.NumFeatures)
+		}
+		g.trees[i] = t
+	}
+	return g, nil
+}
+
+// SizeBytes estimates the ensemble's in-memory footprint.
+func (g *GBT) SizeBytes() int64 {
+	size := int64(64)
+	for _, t := range g.trees {
+		size += t.SizeBytes()
+	}
+	return size
+}

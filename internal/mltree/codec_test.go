@@ -1,0 +1,208 @@
+package mltree
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/binenc"
+	"repro/internal/randx"
+)
+
+// codecData builds a small labelled dataset with signal.
+func codecData(n, f int, seed uint64) (x []float64, y []int, w []float64) {
+	rng := randx.New(seed, 0xc0dec)
+	x = make([]float64, n*f)
+	y = make([]int, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < f; j++ {
+			v := rng.Norm(0, 1)
+			x[i*f+j] = v
+			if j < 3 {
+				s += v
+			}
+		}
+		if s > 0 {
+			y[i] = 1
+		}
+	}
+	return x, y, BalancedWeights(y, 2)
+}
+
+func TestTreeCodecRoundTrip(t *testing.T) {
+	x, y, w := codecData(300, 12, 1)
+	tree, err := FitTree(x, 300, 12, y, w, 2, TreeConfig(), randx.New(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := binenc.NewReader(tree.AppendBinary(nil))
+	got, err := DecodeTree(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFeatures != tree.NumFeatures || got.NumClasses != tree.NumClasses || got.NodeCount() != tree.NodeCount() {
+		t.Fatalf("shape changed: %d/%d/%d vs %d/%d/%d", got.NumFeatures, got.NumClasses, got.NodeCount(),
+			tree.NumFeatures, tree.NumClasses, tree.NodeCount())
+	}
+	for i := 0; i < 300; i++ {
+		a := tree.PredictProba(x[i*12 : (i+1)*12])
+		b := got.PredictProba(x[i*12 : (i+1)*12])
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("instance %d predicts %v vs %v", i, a, b)
+		}
+	}
+	imp, gotImp := tree.Importances(), got.Importances()
+	for i := range imp {
+		if imp[i] != gotImp[i] {
+			t.Fatalf("importance %d: %v vs %v", i, imp[i], gotImp[i])
+		}
+	}
+}
+
+func TestForestCodecRoundTrip(t *testing.T) {
+	x, y, w := codecData(300, 12, 2)
+	cfg := DefaultForestConfig()
+	cfg.NumTrees = 5
+	fo, err := FitForest(x, 300, 12, y, w, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := binenc.NewReader(fo.AppendBinary(nil))
+	got, err := DecodeForest(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Trees) != len(fo.Trees) {
+		t.Fatalf("tree count %d vs %d", len(got.Trees), len(fo.Trees))
+	}
+	for i := 0; i < 300; i++ {
+		a := fo.PredictProba(x[i*12 : (i+1)*12])
+		b := got.PredictProba(x[i*12 : (i+1)*12])
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("instance %d predicts %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestGBTCodecRoundTrip(t *testing.T) {
+	x, y, w := codecData(300, 12, 3)
+	cfg := DefaultGBTConfig()
+	cfg.Rounds = 10
+	g, err := FitGBT(x, 300, 12, y, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := binenc.NewReader(g.AppendBinary(nil))
+	got, err := DecodeGBT(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rounds() != g.Rounds() {
+		t.Fatalf("rounds %d vs %d", got.Rounds(), g.Rounds())
+	}
+	for i := 0; i < 300; i++ {
+		if a, b := g.Raw(x[i*12:(i+1)*12]), got.Raw(x[i*12:(i+1)*12]); a != b {
+			t.Fatalf("instance %d raw margin %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestCodecTruncationErrors: every prefix of a valid payload must decode to
+// an error, never panic.
+func TestCodecTruncationErrors(t *testing.T) {
+	x, y, w := codecData(200, 8, 4)
+	cfg := DefaultForestConfig()
+	cfg.NumTrees = 3
+	fo, err := FitForest(x, 200, 8, y, w, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := fo.AppendBinary(nil)
+	for cut := 0; cut < len(full); cut += 7 {
+		r := binenc.NewReader(full[:cut])
+		got, err := DecodeForest(r)
+		if err == nil && r.Close() == nil {
+			t.Fatalf("truncation at %d/%d decoded cleanly (%v)", cut, len(full), got)
+		}
+	}
+}
+
+// TestCodecCorruptChildIndexRejected: decoded child pointers must land
+// inside the node table, or prediction would walk out of range.
+func TestCodecCorruptChildIndexRejected(t *testing.T) {
+	var b []byte
+	b = binenc.AppendU32(b, 2) // features
+	b = binenc.AppendU32(b, 2) // classes
+	b = binenc.AppendU32(b, 2) // nodes
+	b = binenc.AppendI32(b, 0) // internal node on feature 0
+	b = binenc.AppendF64(b, 0.5)
+	b = binenc.AppendI32(b, 1)
+	b = binenc.AppendI32(b, 99) // right child out of range
+	b = binenc.AppendI32(b, -1) // leaf
+	b = binenc.AppendF64s(b, []float64{0.5, 0.5})
+	b = binenc.AppendF64s(b, nil) // importances
+	if _, err := DecodeTree(binenc.NewReader(b)); err == nil || !strings.Contains(err.Error(), "children") {
+		t.Fatalf("corrupt child index accepted (err=%v)", err)
+	}
+}
+
+// TestCodecOversizedCountRejected: a node count beyond the buffer must be
+// rejected before allocation.
+func TestCodecOversizedCountRejected(t *testing.T) {
+	var b []byte
+	b = binenc.AppendU32(b, 2)
+	b = binenc.AppendU32(b, 2)
+	b = binenc.AppendU32(b, 1<<28) // absurd node count
+	if _, err := DecodeTree(binenc.NewReader(b)); err == nil {
+		t.Fatal("oversized node count accepted")
+	}
+}
+
+func TestSizeBytesPositive(t *testing.T) {
+	x, y, w := codecData(200, 8, 5)
+	tree, err := FitTree(x, 200, 8, y, w, 2, TreeConfig(), randx.New(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.SizeBytes() <= 0 {
+		t.Fatal("tree size not positive")
+	}
+	cfg := DefaultGBTConfig()
+	cfg.Rounds = 3
+	g, err := FitGBT(x, 200, 8, y, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SizeBytes() <= 0 {
+		t.Fatal("gbt size not positive")
+	}
+}
+
+// TestCodecCyclicChildRejected: child links must point forward (child >
+// parent), or a corrupt artifact could encode a cycle and spin Predict
+// forever.
+func TestCodecCyclicChildRejected(t *testing.T) {
+	var b []byte
+	b = binenc.AppendU32(b, 2) // features
+	b = binenc.AppendU32(b, 2) // classes
+	b = binenc.AppendU32(b, 2) // nodes
+	b = binenc.AppendI32(b, 0) // internal node on feature 0
+	b = binenc.AppendF64(b, 0.5)
+	b = binenc.AppendI32(b, 0) // left child points back at itself: a cycle
+	b = binenc.AppendI32(b, 1)
+	b = binenc.AppendI32(b, -1) // leaf
+	b = binenc.AppendF64s(b, []float64{0.5, 0.5})
+	b = binenc.AppendF64s(b, nil) // importances
+	if _, err := DecodeTree(binenc.NewReader(b)); err == nil || !strings.Contains(err.Error(), "children") {
+		t.Fatalf("cyclic child link accepted (err=%v)", err)
+	}
+}

@@ -1,0 +1,67 @@
+// Package modelcache is the trained-model store that sits alongside
+// internal/featcache in the sweep engine's hot path: a byte-budgeted LRU of
+// immutable fitted-model artifacts with single-flight fits (the shared
+// machinery lives in internal/bytelru), so concurrent sweeps (and repeated
+// experiments over the same context) train each distinct task exactly once
+// and share the artifact.
+//
+// A training task is identified by Key: the model fingerprint (name plus
+// every hyper-parameter that shapes the fit), the forecast target, the
+// train cutoff (the last day of feature data the fit may see, t-h), the
+// Eq. 7 label gap h (labels sit h days after each feature window, so the
+// gap is part of the task identity even at a fixed cutoff), and the past
+// window w. Fits are deterministic per key on a fixed context, so serving a
+// cached artifact is bit-identical to refitting — the forecast package's
+// determinism tests enforce it end to end.
+package modelcache
+
+import (
+	"repro/internal/bytelru"
+)
+
+// Key identifies one distinct training task.
+type Key struct {
+	// Model is the fitted model's fingerprint: its name plus every
+	// hyper-parameter that shapes the fit (see the forecast package's
+	// fitFingerprint implementations). Two models that agree on the
+	// fingerprint train byte-identical artifacts at equal task coordinates.
+	Model string
+	// Target is the forecast target (forecast.Target as an int; this
+	// package stays below the forecast package in the dependency order).
+	Target int
+	// Cutoff is the train-data boundary t-h: the exclusive end day of the
+	// latest feature window the fit consumes.
+	Cutoff int
+	// H is the Eq. 7 label gap: training labels sit H days after each
+	// feature window, so tasks sharing a cutoff but not H differ.
+	H int
+	// W is the past-window length in days.
+	W int
+}
+
+// Sized is the artifact constraint: anything cached must report its
+// in-memory footprint for byte budgeting.
+type Sized = bytelru.Sized
+
+// Stats is a point-in-time cache counter snapshot.
+type Stats = bytelru.Stats
+
+// Cache is a byte-budgeted LRU of trained artifacts with single-flight
+// fits. All methods are safe for concurrent use.
+type Cache[V Sized] struct {
+	*bytelru.Cache[Key, V]
+}
+
+// New returns a cache bounded to maxBytes of artifact payload (<= 0 means
+// unbounded).
+func New[V Sized](maxBytes int64) *Cache[V] {
+	return &Cache[V]{bytelru.New[Key, V](maxBytes)}
+}
+
+// GetOrFit returns the artifact for key, fitting it with fit on a miss.
+// Concurrent callers for the same key share one fit (single flight): the
+// first caller fits, the rest block and receive the same artifact. Fit
+// errors are not cached — the next caller retries.
+func (c *Cache[V]) GetOrFit(key Key, fit func() (V, error)) (V, error) {
+	return c.GetOrBuild(key, fit)
+}

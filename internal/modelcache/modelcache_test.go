@@ -1,0 +1,153 @@
+package modelcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type blob struct {
+	id   int
+	size int64
+}
+
+func (b blob) Bytes() int64 { return b.size }
+
+func key(i int) Key { return Key{Model: "m", Target: 0, Cutoff: i, H: 1, W: 7} }
+
+func TestGetOrFitCachesAndHits(t *testing.T) {
+	c := New[blob](1 << 20)
+	fits := 0
+	fit := func() (blob, error) { fits++; return blob{id: 1, size: 100}, nil }
+	a, err := c.GetOrFit(key(1), fit)
+	if err != nil || a.id != 1 {
+		t.Fatalf("first fit: %+v, %v", a, err)
+	}
+	b, err := c.GetOrFit(key(1), fit)
+	if err != nil || b.id != 1 {
+		t.Fatalf("hit: %+v, %v", b, err)
+	}
+	if fits != 1 {
+		t.Fatalf("fits = %d, want 1", fits)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.Bytes != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestKeyFieldsDistinguishTasks: each Key field is part of the task
+// identity — notably H, the Eq. 7 label gap, at a fixed cutoff.
+func TestKeyFieldsDistinguishTasks(t *testing.T) {
+	c := New[blob](1 << 20)
+	fits := 0
+	base := Key{Model: "rf", Target: 0, Cutoff: 50, H: 1, W: 7}
+	variants := []Key{
+		base,
+		{Model: "rf|unbal", Target: 0, Cutoff: 50, H: 1, W: 7},
+		{Model: "rf", Target: 1, Cutoff: 50, H: 1, W: 7},
+		{Model: "rf", Target: 0, Cutoff: 51, H: 1, W: 7},
+		{Model: "rf", Target: 0, Cutoff: 50, H: 2, W: 7},
+		{Model: "rf", Target: 0, Cutoff: 50, H: 1, W: 14},
+	}
+	for _, k := range variants {
+		if _, err := c.GetOrFit(k, func() (blob, error) { fits++; return blob{size: 10}, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fits != len(variants) {
+		t.Fatalf("fits = %d, want %d distinct tasks", fits, len(variants))
+	}
+}
+
+func TestEvictionByByteBudget(t *testing.T) {
+	c := New[blob](250)
+	for i := 0; i < 3; i++ {
+		if _, err := c.GetOrFit(key(i), func() (blob, error) { return blob{id: i, size: 100}, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("entries = %d, want 2 after eviction", c.Len())
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Bytes != 200 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// key(0) was least recently used and must be gone: a refit happens.
+	refit := false
+	if _, err := c.GetOrFit(key(0), func() (blob, error) { refit = true; return blob{size: 100}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !refit {
+		t.Fatal("evicted entry served from cache")
+	}
+}
+
+func TestOversizeServedNotStored(t *testing.T) {
+	c := New[blob](50)
+	if _, err := c.GetOrFit(key(1), func() (blob, error) { return blob{size: 1000}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("oversize artifact stored")
+	}
+	if s := c.Stats(); s.Oversize != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New[blob](1 << 20)
+	calls := 0
+	fail := func() (blob, error) { calls++; return blob{}, fmt.Errorf("boom") }
+	if _, err := c.GetOrFit(key(1), fail); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if _, err := c.GetOrFit(key(1), fail); err == nil {
+		t.Fatal("error cached as success")
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want retry after error", calls)
+	}
+}
+
+// TestSingleFlight: concurrent callers for one key share a single fit.
+func TestSingleFlight(t *testing.T) {
+	c := New[blob](1 << 20)
+	var fits atomic.Int32
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := c.GetOrFit(key(7), func() (blob, error) {
+				fits.Add(1)
+				return blob{id: 7, size: 10}, nil
+			})
+			if err != nil || v.id != 7 {
+				t.Errorf("got %+v, %v", v, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := fits.Load(); n != 1 {
+		t.Fatalf("fits = %d, want single flight", n)
+	}
+}
+
+func TestUnboundedCacheNeverEvicts(t *testing.T) {
+	c := New[blob](0)
+	for i := 0; i < 100; i++ {
+		if _, err := c.GetOrFit(key(i), func() (blob, error) { return blob{size: 1 << 20}, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 100 || c.Stats().Evictions != 0 {
+		t.Fatalf("len = %d, stats = %+v", c.Len(), c.Stats())
+	}
+}

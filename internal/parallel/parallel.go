@@ -187,6 +187,40 @@ func Stream[T, R any](workers int, items []T, fn func(i int, item T) (R, error),
 	return firstErr
 }
 
+// Semaphore bounds concurrent access to a resource — the admission-control
+// half of the package, used by servers (cmd/hotserve caps in-flight
+// forecast requests) where the fan-out shape of Map/Stream does not fit
+// because work arrives from outside rather than from a slice.
+type Semaphore struct {
+	slots chan struct{}
+}
+
+// NewSemaphore returns a semaphore admitting up to n concurrent holders
+// (n < 1 is clamped to 1).
+func NewSemaphore(n int) *Semaphore {
+	if n < 1 {
+		n = 1
+	}
+	return &Semaphore{slots: make(chan struct{}, n)}
+}
+
+// TryAcquire claims a slot without blocking, reporting whether one was
+// free. Callers that got true must Release.
+func (s *Semaphore) TryAcquire() bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Acquire blocks until a slot is free. Callers must Release.
+func (s *Semaphore) Acquire() { s.slots <- struct{}{} }
+
+// Release frees a slot claimed by Acquire or a successful TryAcquire.
+func (s *Semaphore) Release() { <-s.slots }
+
 // run is the pool core: it executes body(i) for i in [0, n) on
 // Workers(workers, n) goroutines. Indices are handed out through a channel
 // so long items do not convoy behind a fixed pre-partition.

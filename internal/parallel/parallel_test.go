@@ -3,8 +3,10 @@ package parallel
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -241,4 +243,59 @@ func TestMapSequentialFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestSemaphoreBoundsConcurrency: at most n holders at once, TryAcquire
+// refuses when full, and released slots readmit.
+func TestSemaphoreBoundsConcurrency(t *testing.T) {
+	sem := NewSemaphore(2)
+	if !sem.TryAcquire() || !sem.TryAcquire() {
+		t.Fatal("fresh semaphore refused admission")
+	}
+	if sem.TryAcquire() {
+		t.Fatal("third holder admitted past capacity 2")
+	}
+	sem.Release()
+	if !sem.TryAcquire() {
+		t.Fatal("released slot not readmitted")
+	}
+	sem.Release()
+	sem.Release()
+
+	// Concurrent holders never exceed the bound.
+	sem = NewSemaphore(3)
+	var cur, peak atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem.Acquire()
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			sem.Release()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeded semaphore bound 3", p)
+	}
+}
+
+func TestNewSemaphoreClampsToOne(t *testing.T) {
+	sem := NewSemaphore(0)
+	if !sem.TryAcquire() {
+		t.Fatal("clamped semaphore has no slot")
+	}
+	if sem.TryAcquire() {
+		t.Fatal("clamped semaphore admitted two holders")
+	}
+	sem.Release()
 }
