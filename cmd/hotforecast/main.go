@@ -20,6 +20,16 @@
 // (evaluating against labels when day t+h is inside the grid). Both modes
 // need the pipeline built from the same dataset the artifact was trained
 // on (same -in file, or same -sectors/-weeks/-seed).
+//
+// Registry workflow (versioned publishing; see internal/registry):
+//
+//	hotforecast -models RF-F1 -t 60 -h 7 -w 7 -registry ./models  # fit + publish
+//	hotforecast -registry ./models -prune 3                        # keep 3 newest/task
+//
+// -registry with a model selection trains like -model-out but publishes
+// the artifact as the new latest version of its task, which a running
+// hotserve -registry picks up on its next reload. -registry with only
+// -prune drops all but the newest -prune versions of every task.
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/forecast"
 	"repro/internal/mathx"
+	"repro/internal/registry"
 	"repro/internal/simnet"
 )
 
@@ -69,6 +80,8 @@ func run(args []string, out io.Writer) error {
 		csvPath  = fs.String("csv", "", "also stream sweep records to this CSV file as they complete")
 		modelOut = fs.String("model-out", "", "train the single selected model at the single (t, h, w) and write the artifact here (skips the sweep)")
 		modelIn  = fs.String("model-in", "", "load a trained artifact and predict at each -t instead of training (skips the sweep)")
+		regDir   = fs.String("registry", "", "model-registry directory: train like -model-out but publish as a new version (or just -prune)")
+		prune    = fs.Int("prune", 0, "with -registry: keep only the newest N versions of every task")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +104,33 @@ func run(args []string, out io.Writer) error {
 
 	if *modelOut != "" && *modelIn != "" {
 		return fmt.Errorf("-model-out and -model-in are mutually exclusive")
+	}
+	if *regDir != "" && (*modelOut != "" || *modelIn != "") {
+		return fmt.Errorf("-registry is mutually exclusive with -model-out/-model-in")
+	}
+	if *prune != 0 && *regDir == "" {
+		return fmt.Errorf("-prune needs -registry")
+	}
+	if *prune < 0 {
+		return fmt.Errorf("-prune must keep at least 1 version, got %d", *prune)
+	}
+
+	// Standalone prune touches only the registry — no pipeline needed.
+	if *regDir != "" && *models == "" {
+		if *prune < 1 {
+			return fmt.Errorf("-registry without -models publishes nothing: pass -models to train+publish or -prune to prune")
+		}
+		reg, err := registry.Open(*regDir, -1)
+		if err != nil {
+			return err
+		}
+		dropped, err := reg.Prune(*prune)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "pruned %d version(s) from %s, keeping the newest %d per task\n",
+			len(dropped), *regDir, *prune)
+		return nil
 	}
 
 	p, err := buildPipeline(*in, *sectors, *weeks, *seed, *trees, *cacheMB)
@@ -121,6 +161,14 @@ func run(args []string, out io.Writer) error {
 				len(modelSet), len(ts), len(hs))
 		}
 		return trainToArtifact(p, modelSet[0], tgt, ts[0], hs[0], *wFlag, *modelOut, out)
+	}
+
+	if *regDir != "" {
+		if len(modelSet) != 1 || len(ts) != 1 || len(hs) != 1 {
+			return fmt.Errorf("-registry publishes one artifact: pass exactly one -models entry, one -t and one -h (got %d/%d/%d)",
+				len(modelSet), len(ts), len(hs))
+		}
+		return trainToRegistry(p, modelSet[0], tgt, ts[0], hs[0], *wFlag, *regDir, *prune, out)
 	}
 
 	if len(ts)*len(hs) > 1 {
@@ -210,6 +258,38 @@ func trainToArtifact(p *core.Pipeline, m forecast.Model, tgt forecast.Target, t,
 	fmt.Fprintf(out, "trained %s (target %s, t=%d h=%d w=%d, cutoff day %d) in %v\n",
 		tr.ModelName(), tr.Target(), t, h, w, tr.Cutoff(), time.Since(start).Round(time.Millisecond))
 	fmt.Fprintf(out, "wrote %s (%d bytes); serve it with: hotserve -models %s\n", path, data.Size(), path)
+	return nil
+}
+
+// trainToRegistry is the -registry publish mode: fit one model at one task
+// and publish it as the new latest version, optionally pruning old
+// versions afterwards.
+func trainToRegistry(p *core.Pipeline, m forecast.Model, tgt forecast.Target, t, h, w int, dir string, prune int, out io.Writer) error {
+	reg, err := registry.Open(dir, -1)
+	if err != nil {
+		return err
+	}
+	p.AttachRegistry(reg)
+	start := time.Now()
+	tr, err := m.Fit(p.Ctx, tgt, t, h, w)
+	if err != nil {
+		return fmt.Errorf("training %s: %w", m.Name(), err)
+	}
+	v, err := p.Publish(tr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trained %s (target %s, t=%d h=%d w=%d, cutoff day %d) in %v\n",
+		tr.ModelName(), tr.Target(), t, h, w, tr.Cutoff(), time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(out, "published version %d (%s, %d bytes) to %s; serve it with: hotserve -registry %s\n",
+		v.ID, v.File, v.SizeBytes, dir, dir)
+	if prune > 0 {
+		dropped, err := reg.Prune(prune)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "pruned %d version(s), keeping the newest %d per task\n", len(dropped), prune)
+	}
 	return nil
 }
 

@@ -6,6 +6,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/forecast"
+	"repro/internal/registry"
 )
 
 // TestRunSmoke evaluates two baselines on a tiny generated network and
@@ -166,5 +169,72 @@ func TestRunModelOutValidation(t *testing.T) {
 	}
 	if err := run(append(base, "-model-in", filepath.Join(t.TempDir(), "missing.hotm")), &strings.Builder{}); err == nil {
 		t.Fatal("missing artifact accepted")
+	}
+}
+
+// TestRunRegistryPublishAndPrune: the -registry workflow — publish two
+// versions of one task, verify the registry history, then prune to one.
+func TestRunRegistryPublishAndPrune(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "models")
+	base := []string{"-sectors", "150", "-weeks", "8", "-seed", "2",
+		"-models", "Average", "-h", "3", "-w", "7", "-registry", dir}
+	var buf strings.Builder
+	if err := run(append(base, "-t", "30"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "published version 1") {
+		t.Fatalf("missing publish summary:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run(append(base, "-t", "31"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "published version 2") {
+		t.Fatalf("second publish summary:\n%s", buf.String())
+	}
+
+	reg, err := registry.Open(dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := registry.TaskKey{Model: "Average", Target: int(forecast.BeHot), H: 3, W: 7}
+	if v, ok := reg.Latest(key); !ok || v.ID != 2 || v.Cutoff != 28 {
+		t.Fatalf("latest after publishes = %v, %v", v, ok)
+	}
+
+	buf.Reset()
+	if err := run([]string{"-registry", dir, "-prune", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pruned 1 version(s)") {
+		t.Fatalf("prune summary:\n%s", buf.String())
+	}
+	reg2, err := registry.Open(dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := reg2.List()
+	if len(tasks) != 1 || len(tasks[0].Versions) != 1 || tasks[0].Versions[0].ID != 2 {
+		t.Fatalf("history after prune = %+v", tasks)
+	}
+}
+
+// TestRunRegistryValidation: flag combinations that would do nothing or
+// conflict are rejected.
+func TestRunRegistryValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-registry", dir}, &strings.Builder{}); err == nil {
+		t.Fatal("-registry without -models or -prune accepted")
+	}
+	if err := run([]string{"-registry", dir, "-models", "Average,Trend", "-t", "30", "-h", "3"},
+		&strings.Builder{}); err == nil {
+		t.Fatal("-registry with two models accepted")
+	}
+	if err := run([]string{"-registry", dir, "-models", "Average", "-t", "30", "-h", "3",
+		"-model-out", "x.hotm"}, &strings.Builder{}); err == nil {
+		t.Fatal("-registry with -model-out accepted")
+	}
+	if err := run([]string{"-prune", "2"}, &strings.Builder{}); err == nil {
+		t.Fatal("-prune without -registry accepted")
 	}
 }

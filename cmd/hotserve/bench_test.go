@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/forecast"
+	"repro/internal/registry"
+)
+
+// benchServer preloads a registry-backed server with one published
+// artifact per model kind, so the serving hot path is measured end to end:
+// route → select → predict (through the feature cache) → rank → encode.
+func benchServer(b *testing.B) *server {
+	b.Helper()
+	p := testPipeline(b)
+	reg, err := registry.Open(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.AttachRegistry(reg)
+	for _, kind := range []core.ModelKind{core.Average, core.Tree} {
+		tr, err := p.Train(kind, forecast.BeHot, 30, 3, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Publish(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := newServer(p, 64)
+	if err := srv.attachRegistry(reg); err != nil {
+		b.Fatal(err)
+	}
+	// Prime the feature cache so steady-state serving is measured, not the
+	// first-request matrix build.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/forecast?model=Tree&t=30&k=10", nil))
+	if rec.Code != 200 {
+		b.Fatalf("prime request = %d %s", rec.Code, rec.Body.String())
+	}
+	return srv
+}
+
+// BenchmarkServeForecast measures single-request serving throughput
+// against a preloaded registry: the /forecast hot path one request at a
+// time.
+func BenchmarkServeForecast(b *testing.B) {
+	srv := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("GET", "/forecast?model=Tree&t=30&k=10", nil))
+		if rec.Code != 200 {
+			b.Fatalf("forecast = %d", rec.Code)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeBatch measures the amortized per-forecast cost of
+// /forecast/batch: batchSize queries per round trip, fanned across cores.
+// Compare forecasts/s here against req/s of BenchmarkServeForecast for the
+// batching win.
+func BenchmarkServeBatch(b *testing.B) {
+	const batchSize = 16
+	srv := benchServer(b)
+	var queries []string
+	for i := 0; i < batchSize; i++ {
+		queries = append(queries, fmt.Sprintf(`{"model":"Tree","t":%d,"k":10}`, 30+i%3))
+	}
+	body := `{"queries":[` + strings.Join(queries, ",") + `]}`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("POST", "/forecast/batch", strings.NewReader(body)))
+		if rec.Code != 200 {
+			b.Fatalf("batch = %d", rec.Code)
+		}
+	}
+	b.StopTimer()
+	// One decoded sanity check: every entry scored.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/forecast/batch", strings.NewReader(body)))
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || len(out["results"].([]any)) != batchSize {
+		b.Fatalf("batch response shape: %v %v", err, out)
+	}
+	b.ReportMetric(float64(b.N)*batchSize/b.Elapsed().Seconds(), "forecasts/s")
+}

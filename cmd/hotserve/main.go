@@ -1,46 +1,70 @@
 // Command hotserve is the inference half of the train-once workflow: it
-// loads trained-model artifacts (written by hotforecast -model-out or
-// core.Pipeline.SaveModel), rebuilds the serving context from the same
-// dataset the models were trained on, and serves per-sector hot-spot
-// forecasts over HTTP. Nothing is fitted at serve time — requests only
-// extract the feature window ending at the requested day and run the
-// preloaded artifact, so latency is prediction-only.
+// loads trained-model artifacts — from explicit .hotm files or from a
+// model registry (internal/registry) — rebuilds the serving context from
+// the same dataset the models were trained on (enforced by the artifacts'
+// dataset fingerprints), and serves per-sector hot-spot forecasts over
+// HTTP. Nothing is fitted at serve time — requests only extract the
+// feature window ending at the requested day and run the preloaded
+// artifact, so latency is prediction-only.
 //
-// Usage:
+// Registry workflow (train → publish → serve → reload):
 //
-//	hotforecast -sectors 600 -seed 2 -models RF-F1 -t 60 -h 7 -w 7 -model-out rf.hotm
-//	hotserve    -sectors 600 -seed 2 -models rf.hotm -addr :8080
-//	curl 'http://localhost:8080/healthz'
-//	curl 'http://localhost:8080/forecast?model=RF-F1&t=70&k=10'
+//	hotforecast -sectors 600 -seed 2 -models RF-F1 -t 60 -h 7 -w 7 -registry ./models
+//	hotserve    -sectors 600 -seed 2 -registry ./models -addr :8080
+//	...retrain and publish a fresher version, then either wait for the
+//	manifest watcher (-watch) or force the swap:
+//	curl -X POST 'http://localhost:8080/reload'
+//
+// The active artifact set lives behind an atomic pointer: a reload builds
+// the new set, swaps the pointer, and in-flight requests finish on the
+// snapshot they started with — zero dropped requests, zero torn reads.
 //
 // Endpoints:
 //
-//	GET /healthz   liveness + the loaded artifact inventory
-//	GET /forecast  top-k sector ranking; params: model, target (hot|become),
-//	               h, w (artifact selectors), t (predict day, default latest),
-//	               k (ranking size, default 10)
+//	GET  /healthz         liveness + the active artifact inventory with
+//	                      registry version IDs
+//	GET  /forecast        top-k sector ranking; params: model, target
+//	                      (hot|become), h, w (artifact selectors), t
+//	                      (predict day, default latest), k (default 10)
+//	POST /forecast/batch  JSON {"queries": [{model, target, h, w, t, k}]}:
+//	                      many rankings per round trip, fanned across
+//	                      cores; results are bit-identical to the same
+//	                      queries issued as single /forecast calls
+//	POST /reload          re-read the registry manifest and hot-swap the
+//	                      active artifact set (registry mode only)
 //
-// Concurrent /forecast requests are bounded by -max-inflight (admission
-// control through internal/parallel's semaphore); excess requests get 503
-// rather than queuing without bound.
+// Concurrent /forecast and /forecast/batch requests are bounded by
+// -max-inflight (admission control through internal/parallel's semaphore);
+// excess requests get 503 rather than queuing without bound. SIGINT/SIGTERM
+// stop the listener and drain in-flight requests for up to -drain before
+// the process exits.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
+	"net/url"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/forecast"
 	"repro/internal/parallel"
+	"repro/internal/registry"
 	"repro/internal/simnet"
 )
 
@@ -53,13 +77,20 @@ func main() {
 }
 
 // run is the testable entry point: it builds the serving context, loads
-// the artifacts and blocks serving HTTP.
+// the artifacts, binds the socket and blocks serving HTTP until a
+// termination signal drains it.
 func run(args []string, out io.Writer) error {
 	srv, addr, err := setup(args, out)
 	if err != nil {
 		return err
 	}
-	return http.ListenAndServe(addr, srv)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.serve(ctx, ln, out)
 }
 
 // setup parses flags and assembles the server without binding the socket,
@@ -72,15 +103,19 @@ func setup(args []string, out io.Writer) (*server, string, error) {
 		sectors  = fs.Int("sectors", 600, "sectors when generating")
 		weeks    = fs.Int("weeks", 0, "weeks when generating (0 = the paper's 18)")
 		seed     = fs.Uint64("seed", 1, "seed when generating")
-		models   = fs.String("models", "", "comma-separated trained-artifact paths to preload (required)")
+		models   = fs.String("models", "", "comma-separated trained-artifact paths to preload (static mode)")
+		regDir   = fs.String("registry", "", "model-registry directory to serve the latest version of every task from")
+		watch    = fs.Duration("watch", 5*time.Second, "registry manifest poll interval for automatic hot reload (0 disables; POST /reload always works)")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for draining in-flight requests")
 		cacheMB  = fs.Int("cache-mb", 256, "feature-matrix cache budget in MiB (0 disables caching)")
-		inflight = fs.Int("max-inflight", 2*runtime.GOMAXPROCS(0), "max concurrent /forecast requests; excess gets 503")
+		inflight = fs.Int("max-inflight", 2*runtime.GOMAXPROCS(0), "max concurrent forecast requests; excess gets 503")
+		batchMax = fs.Int("batch-max", 256, "max queries per /forecast/batch request")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
 	}
-	if *models == "" {
-		return nil, "", fmt.Errorf("-models is required: pass at least one artifact written by hotforecast -model-out")
+	if (*models == "") == (*regDir == "") {
+		return nil, "", fmt.Errorf("pass exactly one of -models (artifact files) or -registry (registry directory)")
 	}
 
 	cfg := core.Config{Seed: *seed, Sectors: *sectors, Weeks: *weeks,
@@ -99,57 +134,250 @@ func setup(args []string, out io.Writer) (*server, string, error) {
 		return nil, "", err
 	}
 
-	var arts []forecast.Trained
-	for _, path := range strings.Split(*models, ",") {
-		path = strings.TrimSpace(path)
-		tr, err := forecast.LoadModelFile(path)
+	s := newServer(p, *inflight)
+	s.watch = *watch
+	s.drain = *drain
+	s.batchMax = *batchMax
+
+	if *regDir != "" {
+		reg, err := registry.Open(*regDir, 0)
 		if err != nil {
 			return nil, "", err
 		}
-		arts = append(arts, tr)
-		fmt.Fprintf(out, "loaded %s: %s target %s, h=%d w=%d, cutoff day %d\n",
-			path, tr.ModelName(), tr.Target(), tr.Horizon(), tr.Window(), tr.Cutoff())
+		if err := s.attachRegistry(reg); err != nil {
+			return nil, "", err
+		}
+		for _, sm := range s.active.Load().models {
+			fmt.Fprintf(out, "loaded version %d: %s target %s, h=%d w=%d, cutoff day %d\n",
+				sm.version, sm.tr.ModelName(), sm.tr.Target(), sm.tr.Horizon(), sm.tr.Window(), sm.tr.Cutoff())
+		}
+	} else {
+		var arts []forecast.Trained
+		for _, path := range strings.Split(*models, ",") {
+			path = strings.TrimSpace(path)
+			tr, err := p.LoadModel(path)
+			if err != nil {
+				return nil, "", err
+			}
+			arts = append(arts, tr)
+			fmt.Fprintf(out, "loaded %s: %s target %s, h=%d w=%d, cutoff day %d\n",
+				path, tr.ModelName(), tr.Target(), tr.Horizon(), tr.Window(), tr.Cutoff())
+		}
+		if err := s.setStatic(arts); err != nil {
+			return nil, "", err
+		}
 	}
 
-	srv, err := newServer(p, arts, *inflight)
-	if err != nil {
-		return nil, "", err
-	}
 	fmt.Fprintf(out, "serving %d sectors x %d days with %d artifact(s) on %s (max %d in-flight forecasts)\n",
-		p.Sectors(), p.Days(), len(arts), *addr, *inflight)
-	return srv, *addr, nil
+		p.Sectors(), p.Days(), len(s.active.Load().models), *addr, *inflight)
+	return s, *addr, nil
 }
 
-// server holds the immutable serving state: the pipeline (data + caches)
-// and the preloaded artifacts.
-type server struct {
-	p     *core.Pipeline
-	arts  []forecast.Trained
-	sem   *parallel.Semaphore
-	mux   *http.ServeMux
-	start time.Time
+// servedModel is one active artifact plus its registry version (0 in
+// static -models mode).
+type servedModel struct {
+	tr      forecast.Trained
+	version int
 }
 
-func newServer(p *core.Pipeline, arts []forecast.Trained, maxInflight int) (*server, error) {
-	if len(arts) == 0 {
-		return nil, fmt.Errorf("hotserve: no artifacts to serve")
+// artifactSet is one immutable generation of the serving inventory. The
+// active set is swapped wholesale behind an atomic pointer; requests
+// snapshot it once and never observe a half-swapped inventory.
+type artifactSet struct {
+	models []servedModel
+	gen    uint64 // registry generation the set was loaded at
+}
+
+// checkSet rejects empty and ambiguous inventories.
+func checkSet(set *artifactSet) error {
+	if len(set.models) == 0 {
+		return fmt.Errorf("hotserve: no artifacts to serve")
 	}
 	seen := map[string]bool{}
-	for _, tr := range arts {
-		id := artifactID(tr)
+	for _, sm := range set.models {
+		id := artifactID(sm.tr)
 		if seen[id] {
-			return nil, fmt.Errorf("hotserve: duplicate artifact %s", id)
+			return fmt.Errorf("hotserve: duplicate artifact %s", id)
 		}
 		seen[id] = true
 	}
-	s := &server{p: p, arts: arts, sem: parallel.NewSemaphore(maxInflight), mux: http.NewServeMux(), start: time.Now()}
+	return nil
+}
+
+// server is the HTTP serving state: the pipeline (data + caches), the
+// hot-swappable artifact set, and the admission semaphore.
+type server struct {
+	p        *core.Pipeline
+	reg      *registry.Registry // nil in static -models mode
+	active   atomic.Pointer[artifactSet]
+	sem      *parallel.Semaphore
+	mux      *http.ServeMux
+	start    time.Time
+	watch    time.Duration
+	drain    time.Duration
+	batchMax int
+	reloadMu sync.Mutex // serializes reload(): watch ticks vs POST /reload
+	reloads  atomic.Uint64
+
+	// testHookForecast, when non-nil, runs inside every admitted forecast
+	// request — the shutdown-drain and hot-swap tests gate on it.
+	testHookForecast func()
+}
+
+// newServer wires the routes around a pipeline. The artifact inventory is
+// attached afterwards with setStatic or attachRegistry.
+func newServer(p *core.Pipeline, maxInflight int) *server {
+	s := &server{p: p, sem: parallel.NewSemaphore(maxInflight), mux: http.NewServeMux(),
+		start: time.Now(), drain: 10 * time.Second, batchMax: 256}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /forecast", s.handleForecast)
-	return s, nil
+	s.mux.HandleFunc("POST /forecast/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /reload", s.handleReload)
+	return s
+}
+
+// setStatic installs a fixed artifact inventory (-models mode).
+func (s *server) setStatic(arts []forecast.Trained) error {
+	set := &artifactSet{}
+	for _, tr := range arts {
+		set.models = append(set.models, servedModel{tr: tr})
+	}
+	if err := checkSet(set); err != nil {
+		return err
+	}
+	s.active.Store(set)
+	return nil
+}
+
+// attachRegistry switches the server to registry mode and loads the
+// initial artifact set.
+func (s *server) attachRegistry(reg *registry.Registry) error {
+	s.p.AttachRegistry(reg)
+	s.reg = reg
+	set, err := s.loadRegistrySet()
+	if err != nil {
+		return err
+	}
+	s.active.Store(set)
+	return nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// serve runs the HTTP server on ln until ctx is cancelled (SIGINT/SIGTERM
+// in production), then stops accepting and drains in-flight requests for
+// up to s.drain.
+func (s *server) serve(ctx context.Context, ln net.Listener, out io.Writer) error {
+	hs := &http.Server{Handler: s}
+	if s.reg != nil && s.watch > 0 {
+		go s.watchManifest(ctx, out)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		fmt.Fprintf(out, "shutting down: draining in-flight requests (up to %v)\n", s.drain)
+		dctx, cancel := context.WithTimeout(context.Background(), s.drain)
+		defer cancel()
+		if err := hs.Shutdown(dctx); err != nil {
+			return fmt.Errorf("hotserve: drain deadline exceeded: %w", err)
+		}
+		return nil
+	}
+}
+
+// watchManifest polls the registry manifest and hot-swaps the artifact set
+// when a publish or prune lands — the hands-off half of /reload.
+func (s *server) watchManifest(ctx context.Context, out io.Writer) {
+	tick := time.NewTicker(s.watch)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			swapped, n, err := s.reload()
+			if err != nil {
+				fmt.Fprintf(out, "watch: reload failed, keeping current artifacts: %v\n", err)
+				continue
+			}
+			if swapped {
+				fmt.Fprintf(out, "watch: hot-swapped to %d artifact(s), generation %d\n", n, s.active.Load().gen)
+			}
+		}
+	}
+}
+
+// loadRegistrySet assembles the serving inventory from the registry: the
+// latest version of every published task, each checked against the serving
+// dataset's fingerprint.
+func (s *server) loadRegistrySet() (*artifactSet, error) {
+	set := &artifactSet{gen: s.reg.Generation()}
+	for _, task := range s.reg.List() {
+		if len(task.Versions) == 0 {
+			continue
+		}
+		tr, v, err := s.reg.LoadLatest(task.Key)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.p.CheckArtifact(tr); err != nil {
+			return nil, fmt.Errorf("hotserve: registry version %d: %w", v.ID, err)
+		}
+		set.models = append(set.models, servedModel{tr: tr, version: v.ID})
+	}
+	if err := checkSet(set); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// reload refreshes the registry manifest and, when it changed, builds and
+// atomically swaps in the new artifact set. In-flight requests keep the
+// snapshot they started with. Reloads are serialized so a slow reload
+// racing a watch tick can never store an older set over a newer one.
+// Returns whether a swap happened and the active artifact count.
+func (s *server) reload() (bool, int, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if _, err := s.reg.Refresh(); err != nil {
+		return false, len(s.active.Load().models), err
+	}
+	if s.reg.Generation() == s.active.Load().gen {
+		return false, len(s.active.Load().models), nil
+	}
+	set, err := s.loadRegistrySet()
+	if err != nil {
+		return false, len(s.active.Load().models), err
+	}
+	s.active.Store(set)
+	s.reloads.Add(1)
+	return true, len(set.models), nil
+}
+
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": "not serving from a registry: restart with -registry to enable hot reload"})
+		return
+	}
+	swapped, n, err := s.reload()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"reloaded":   swapped,
+		"generation": s.active.Load().gen,
+		"models":     n,
+	})
+}
 
 func artifactID(tr forecast.Trained) string {
 	return fmt.Sprintf("%s/%s/h=%d/w=%d", tr.ModelName(), tr.Target(), tr.Horizon(), tr.Window())
@@ -157,32 +385,132 @@ func artifactID(tr forecast.Trained) string {
 
 // modelInfo is the artifact inventory entry of /healthz.
 type modelInfo struct {
-	Model  string `json:"model"`
-	Target string `json:"target"`
-	H      int    `json:"h"`
-	W      int    `json:"w"`
-	Cutoff int    `json:"cutoff"`
+	Model   string `json:"model"`
+	Target  string `json:"target"`
+	H       int    `json:"h"`
+	W       int    `json:"w"`
+	Cutoff  int    `json:"cutoff"`
+	Version int    `json:"version,omitempty"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	infos := make([]modelInfo, len(s.arts))
-	for i, tr := range s.arts {
-		infos[i] = modelInfo{Model: tr.ModelName(), Target: tr.Target().String(),
-			H: tr.Horizon(), W: tr.Window(), Cutoff: tr.Cutoff()}
+	set := s.active.Load()
+	infos := make([]modelInfo, len(set.models))
+	for i, sm := range set.models {
+		infos[i] = modelInfo{Model: sm.tr.ModelName(), Target: sm.tr.Target().String(),
+			H: sm.tr.Horizon(), W: sm.tr.Window(), Cutoff: sm.tr.Cutoff(), Version: sm.version}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":    "ok",
+		"mode":      "static",
 		"sectors":   s.p.Sectors(),
 		"days":      s.p.Days(),
 		"uptime_ms": time.Since(s.start).Milliseconds(),
 		"models":    infos,
-	})
+	}
+	if s.reg != nil {
+		body["mode"] = "registry"
+		body["registry_dir"] = s.reg.Dir()
+		body["generation"] = set.gen
+		body["reloads"] = s.reloads.Load()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
-// sectorScore is one /forecast ranking entry.
+// forecastQuery is one normalized query: raw selector strings ("" =
+// absent), shared by the URL and batch JSON forms so both endpoints
+// resolve and score identically.
+type forecastQuery struct {
+	model, target, h, w, t, k string
+}
+
+// queryFromURL normalizes URL parameters.
+func queryFromURL(q url.Values) forecastQuery {
+	get := func(key string) string {
+		if vs := q[key]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	return forecastQuery{model: get("model"), target: get("target"),
+		h: get("h"), w: get("w"), t: get("t"), k: get("k")}
+}
+
+// batchQuery is one element of the /forecast/batch request body. Absent
+// fields mean the same as absent URL parameters.
+type batchQuery struct {
+	Model  string `json:"model,omitempty"`
+	Target string `json:"target,omitempty"`
+	H      *int   `json:"h,omitempty"`
+	W      *int   `json:"w,omitempty"`
+	T      *int   `json:"t,omitempty"`
+	K      *int   `json:"k,omitempty"`
+}
+
+// normalize maps the JSON form onto the shared query shape.
+func (q batchQuery) normalize() forecastQuery {
+	opt := func(v *int) string {
+		if v == nil {
+			return ""
+		}
+		return strconv.Itoa(*v)
+	}
+	return forecastQuery{model: q.Model, target: q.Target,
+		h: opt(q.H), w: opt(q.W), t: opt(q.T), k: opt(q.K)}
+}
+
+// httpError is a handler failure with its response status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func failf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// sectorScore is one ranking entry.
 type sectorScore struct {
 	Sector int     `json:"sector"`
 	Score  float64 `json:"score"`
+}
+
+// evaluate resolves fq against the artifact-set snapshot, predicts and
+// ranks. The single and batch endpoints both come here, so their rankings
+// are bit-identical by construction.
+func (s *server) evaluate(set *artifactSet, fq forecastQuery) (map[string]any, *httpError) {
+	tr, herr := selectArtifact(set, fq)
+	if herr != nil {
+		return nil, herr
+	}
+	t, err := intOrDefault(fq.t, "t", s.p.Days()-1)
+	if err != nil {
+		return nil, failf(http.StatusBadRequest, "%v", err)
+	}
+	k, err := intOrDefault(fq.k, "k", 10)
+	if err != nil || k < 1 {
+		return nil, failf(http.StatusBadRequest, "bad k")
+	}
+	scores, err := s.p.Predict(tr, t, tr.Window())
+	if err != nil {
+		return nil, failf(http.StatusBadRequest, "%v", err)
+	}
+	top := core.TopK(scores, k)
+	ranked := make([]sectorScore, len(top))
+	for i, id := range top {
+		ranked[i] = sectorScore{Sector: id, Score: scores[id]}
+	}
+	return map[string]any{
+		"model":        tr.ModelName(),
+		"target":       tr.Target().String(),
+		"t":            t,
+		"h":            tr.Horizon(),
+		"w":            tr.Window(),
+		"forecast_day": t + tr.Horizon(),
+		"top":          ranked,
+	}, nil
 }
 
 func (s *server) handleForecast(w http.ResponseWriter, r *http.Request) {
@@ -191,79 +519,106 @@ func (s *server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.sem.Release()
+	if s.testHookForecast != nil {
+		s.testHookForecast()
+	}
 
-	q := r.URL.Query()
-	tr, err := s.selectArtifact(q)
-	if err != nil {
-		status := http.StatusBadRequest
-		if strings.Contains(err.Error(), "no artifact") {
-			status = http.StatusNotFound
-		}
-		writeJSON(w, status, map[string]any{"error": err.Error()})
+	start := time.Now()
+	body, herr := s.evaluate(s.active.Load(), queryFromURL(r.URL.Query()))
+	if herr != nil {
+		writeJSON(w, herr.status, map[string]any{"error": herr.msg})
 		return
 	}
-	t, err := intParam(q, "t", s.p.Days()-1)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+	body["elapsed_ms"] = time.Since(start).Milliseconds()
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleBatch scores many queries in one round trip: the request holds one
+// admission slot, snapshots the active artifact set once (every query in a
+// batch sees one generation, even across a concurrent hot swap) and fans
+// the queries across cores through internal/parallel. Per-query failures
+// land inline so one bad query cannot void its siblings.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.sem.TryAcquire() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "server at capacity, retry later"})
 		return
 	}
-	k, err := intParam(q, "k", 10)
-	if err != nil || k < 1 {
-		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad k"})
+	defer s.sem.Release()
+	if s.testHookForecast != nil {
+		s.testHookForecast()
+	}
+
+	var req struct {
+		Queries []batchQuery `json:"queries"`
+	}
+	// Bound the body before decoding — the decoder must not buffer an
+	// arbitrarily large request first. The cap scales with -batch-max
+	// (512 bytes per query is several times a fully specified one).
+	r.Body = http.MaxBytesReader(w, r.Body, 4096+int64(s.batchMax)*512)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "empty batch: pass at least one query"})
+		return
+	}
+	if len(req.Queries) > s.batchMax {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": fmt.Sprintf("batch of %d exceeds the %d-query limit", len(req.Queries), s.batchMax)})
 		return
 	}
 
 	start := time.Now()
-	scores, err := s.p.Predict(tr, t, tr.Window())
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
-		return
+	set := s.active.Load()
+	// The batch already holds one admission slot; claim free slots for any
+	// extra fan-out workers so total concurrent prediction work across all
+	// requests stays bounded by -max-inflight. A saturated server degrades
+	// a batch to sequential scoring instead of oversubscribing.
+	workers := 1
+	for workers < len(req.Queries) && workers < runtime.GOMAXPROCS(0) && s.sem.TryAcquire() {
+		workers++
 	}
-	top := core.TopK(scores, k)
-	ranked := make([]sectorScore, len(top))
-	for i, id := range top {
-		ranked[i] = sectorScore{Sector: id, Score: scores[id]}
-	}
+	defer func() {
+		for ; workers > 1; workers-- {
+			s.sem.Release()
+		}
+	}()
+	results, _ := parallel.Map(workers, req.Queries, func(i int, q batchQuery) (map[string]any, error) {
+		body, herr := s.evaluate(set, q.normalize())
+		if herr != nil {
+			return map[string]any{"error": herr.msg, "status": herr.status}, nil
+		}
+		return body, nil
+	})
 	writeJSON(w, http.StatusOK, map[string]any{
-		"model":        tr.ModelName(),
-		"target":       tr.Target().String(),
-		"t":            t,
-		"h":            tr.Horizon(),
-		"w":            tr.Window(),
-		"forecast_day": t + tr.Horizon(),
-		"top":          ranked,
-		"elapsed_ms":   time.Since(start).Milliseconds(),
+		"results":    results,
+		"elapsed_ms": time.Since(start).Milliseconds(),
 	})
 }
 
 // selectArtifact resolves the query's model/target/h/w selectors to
-// exactly one preloaded artifact.
-func (s *server) selectArtifact(q map[string][]string) (forecast.Trained, error) {
-	get := func(key string) string {
-		if vs := q[key]; len(vs) > 0 {
-			return vs[0]
-		}
-		return ""
-	}
-	wantTarget := get("target")
-	if wantTarget != "" && wantTarget != "hot" && wantTarget != "become" {
-		return nil, fmt.Errorf("unknown target %q (hot | become)", wantTarget)
+// exactly one artifact of the set snapshot.
+func selectArtifact(set *artifactSet, fq forecastQuery) (forecast.Trained, *httpError) {
+	if fq.target != "" && fq.target != "hot" && fq.target != "become" {
+		return nil, failf(http.StatusBadRequest, "unknown target %q (hot | become)", fq.target)
 	}
 	var matches []forecast.Trained
-	for _, tr := range s.arts {
-		if m := get("model"); m != "" && m != tr.ModelName() {
+	for _, sm := range set.models {
+		tr := sm.tr
+		if fq.model != "" && fq.model != tr.ModelName() {
 			continue
 		}
-		if wantTarget == "hot" && tr.Target() != forecast.BeHot {
+		if fq.target == "hot" && tr.Target() != forecast.BeHot {
 			continue
 		}
-		if wantTarget == "become" && tr.Target() != forecast.BecomeHot {
+		if fq.target == "become" && tr.Target() != forecast.BecomeHot {
 			continue
 		}
-		if hs := get("h"); hs != "" && hs != strconv.Itoa(tr.Horizon()) {
+		if fq.h != "" && fq.h != strconv.Itoa(tr.Horizon()) {
 			continue
 		}
-		if ws := get("w"); ws != "" && ws != strconv.Itoa(tr.Window()) {
+		if fq.w != "" && fq.w != strconv.Itoa(tr.Window()) {
 			continue
 		}
 		matches = append(matches, tr)
@@ -272,24 +627,23 @@ func (s *server) selectArtifact(q map[string][]string) (forecast.Trained, error)
 	case 1:
 		return matches[0], nil
 	case 0:
-		return nil, fmt.Errorf("no artifact matches the request; /healthz lists the loaded models")
+		return nil, failf(http.StatusNotFound, "no artifact matches the request; /healthz lists the loaded models")
 	default:
 		ids := make([]string, len(matches))
 		for i, tr := range matches {
 			ids[i] = artifactID(tr)
 		}
-		return nil, fmt.Errorf("ambiguous request matches %s; add model/target/h/w selectors", strings.Join(ids, ", "))
+		return nil, failf(http.StatusBadRequest, "ambiguous request matches %s; add model/target/h/w selectors", strings.Join(ids, ", "))
 	}
 }
 
-func intParam(q map[string][]string, key string, def int) (int, error) {
-	vs := q[key]
-	if len(vs) == 0 || vs[0] == "" {
+func intOrDefault(raw, key string, def int) (int, error) {
+	if raw == "" {
 		return def, nil
 	}
-	v, err := strconv.Atoi(vs[0])
+	v, err := strconv.Atoi(raw)
 	if err != nil {
-		return 0, fmt.Errorf("bad %s %q", key, vs[0])
+		return 0, fmt.Errorf("bad %s %q", key, raw)
 	}
 	return v, nil
 }

@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# Walkthrough of the registry serving loop:
+#
+#   train -> publish -> serve -> forecast (single + batch) -> retrain ->
+#   publish -> hot reload -> prune
+#
+# Run from the repository root:
+#
+#   sh examples/serving/run.sh
+#
+# Everything happens in a scratch directory and a localhost port; the
+# script cleans up after itself. See README.md "Serving" for the story.
+set -eu
+
+PORT="${PORT:-8191}"
+WORK="$(mktemp -d)"
+REG="$WORK/models"
+DATA="-sectors 150 -weeks 8 -seed 2"
+SERVE_PID=""
+trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "==> building hotforecast and hotserve"
+go build -o "$WORK/hotforecast" ./cmd/hotforecast
+go build -o "$WORK/hotserve" ./cmd/hotserve
+
+echo "==> 1. train RF-F1 at day 30 and publish it as version 1"
+"$WORK/hotforecast" $DATA -models RF-F1 -t 30 -h 3 -w 7 -registry "$REG"
+
+echo "==> 2. serve the registry (same dataset flags: the artifact's"
+echo "       dataset fingerprint is checked at load time)"
+"$WORK/hotserve" $DATA -registry "$REG" -watch 0 -addr "127.0.0.1:$PORT" &
+SERVE_PID=$!
+i=0
+until curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null; do
+  i=$((i + 1))
+  [ "$i" -lt 100 ] || { echo "hotserve never came up" >&2; exit 1; }
+  sleep 0.2
+done
+
+echo "==> 3. single forecast: top-5 sectors for day t+h"
+curl -sf "http://127.0.0.1:$PORT/forecast?model=RF-F1&t=31&k=5"
+echo
+
+echo "==> 4. batch forecast: many queries in one round trip"
+curl -sf -X POST "http://127.0.0.1:$PORT/forecast/batch" \
+  -d '{"queries":[{"model":"RF-F1","t":30,"k":5},{"model":"RF-F1","t":31,"k":5}]}'
+echo
+
+echo "==> 5. a new day of data arrived: retrain at day 31, publish version 2"
+"$WORK/hotforecast" $DATA -models RF-F1 -t 31 -h 3 -w 7 -registry "$REG"
+
+echo "==> 6. hot-swap the new version in (zero downtime)"
+curl -sf -X POST "http://127.0.0.1:$PORT/reload"
+echo
+curl -sf "http://127.0.0.1:$PORT/healthz"
+echo
+
+echo "==> 7. retire old versions: keep the newest 1 per task"
+"$WORK/hotforecast" -registry "$REG" -prune 1
+
+echo "==> done; registry contents:"
+ls -l "$REG"

@@ -21,6 +21,7 @@ import (
 	"repro/internal/forecast"
 	"repro/internal/impute"
 	"repro/internal/mathx"
+	"repro/internal/registry"
 	"repro/internal/score"
 	"repro/internal/simnet"
 	"repro/internal/timegrid"
@@ -102,6 +103,8 @@ type Pipeline struct {
 	// Discarded is the number of sectors dropped by the missing-data
 	// filter.
 	Discarded int
+
+	reg *registry.Registry
 }
 
 // NewPipeline generates a synthetic network and prepares the full chain.
@@ -194,10 +197,21 @@ func (p *Pipeline) Train(kind ModelKind, target forecast.Target, t, h, w int) (f
 }
 
 // Predict scores every sector for day t+tr.Horizon() from the w-day
-// window ending at day t of this pipeline's data. The pipeline must
-// describe the same network the artifact was trained on.
+// window ending at day t of this pipeline's data. The artifact's dataset
+// fingerprint must match this pipeline's data — a model trained on a
+// different network fails here instead of serving silently wrong rankings.
 func (p *Pipeline) Predict(tr forecast.Trained, t, w int) ([]float64, error) {
+	if err := p.CheckArtifact(tr); err != nil {
+		return nil, err
+	}
 	return tr.Predict(p.Ctx, t, w)
+}
+
+// CheckArtifact verifies tr was trained on this pipeline's dataset, by
+// fingerprint (artifacts from the pre-fingerprint envelope pass
+// unchecked).
+func (p *Pipeline) CheckArtifact(tr forecast.Trained) error {
+	return p.Ctx.CheckArtifact(tr)
 }
 
 // SaveModel writes a trained artifact to path in the versioned binary
@@ -207,9 +221,39 @@ func (p *Pipeline) SaveModel(path string, tr forecast.Trained) error {
 }
 
 // LoadModel reads a trained artifact written by SaveModel (or
-// hotforecast -model-out), ready to Predict against this pipeline.
+// hotforecast -model-out), ready to Predict against this pipeline. Loading
+// fails loudly when the artifact's dataset fingerprint does not match this
+// pipeline's data.
 func (p *Pipeline) LoadModel(path string) (forecast.Trained, error) {
-	return forecast.LoadModelFile(path)
+	tr, err := forecast.LoadModelFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.CheckArtifact(tr); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// AttachRegistry connects a model registry to this pipeline: Publish
+// routes through it, and serving tools resolve artifacts from it.
+func (p *Pipeline) AttachRegistry(r *registry.Registry) { p.reg = r }
+
+// Registry returns the attached model registry (nil when none is
+// attached).
+func (p *Pipeline) Registry() *registry.Registry { return p.reg }
+
+// Publish durably stores tr as the new latest version of its task in the
+// attached registry, after verifying the artifact matches this pipeline's
+// dataset.
+func (p *Pipeline) Publish(tr forecast.Trained) (registry.Version, error) {
+	if p.reg == nil {
+		return registry.Version{}, fmt.Errorf("core: no registry attached (AttachRegistry first)")
+	}
+	if err := p.CheckArtifact(tr); err != nil {
+		return registry.Version{}, err
+	}
+	return p.reg.Publish(tr)
 }
 
 // Evaluate sweeps all eight models over the given grid and returns the

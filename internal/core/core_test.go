@@ -2,10 +2,13 @@ package core
 
 import (
 	"math"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/forecast"
 	"repro/internal/impute"
+	"repro/internal/registry"
 )
 
 func smallPipeline(t *testing.T) *Pipeline {
@@ -240,5 +243,82 @@ func TestPipelineWithImputation(t *testing.T) {
 	}
 	if frac := p.Dataset.K.MissingFraction(); frac != 0 {
 		t.Fatalf("imputation left %.3f missing", frac)
+	}
+}
+
+// TestPipelineRegistry: the Publish/Registry accessors — attach a registry,
+// publish a trained artifact, reload it and predict bit-identically.
+func TestPipelineRegistry(t *testing.T) {
+	p := smallPipeline(t)
+	tr, err := p.Train(Average, forecast.BeHot, 30, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Publish(tr); err == nil {
+		t.Fatal("publish without a registry accepted")
+	}
+	reg, err := registry.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AttachRegistry(reg)
+	if p.Registry() != reg {
+		t.Fatal("registry accessor lost the handle")
+	}
+	v, err := p.Publish(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := reg.LoadLatest(registry.KeyFor(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Predict(tr, 31, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := p.Predict(got, 31, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("sector %d differs after publish round trip (version %d)", i, v.ID)
+		}
+	}
+}
+
+// TestPipelineRejectsForeignArtifact: loading or predicting with an
+// artifact trained on a different dataset fails loudly on the fingerprint.
+func TestPipelineRejectsForeignArtifact(t *testing.T) {
+	p := smallPipeline(t)
+	other, err := NewPipeline(Config{Seed: 9, Sectors: 150, Weeks: 8, TrainDays: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := other.Train(Average, forecast.BeHot, 30, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Predict(tr, 31, 7); err == nil ||
+		!strings.Contains(err.Error(), "different dataset") {
+		t.Fatalf("foreign artifact predicted (err=%v)", err)
+	}
+	path := filepath.Join(t.TempDir(), "foreign.hotm")
+	if err := other.SaveModel(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.LoadModel(path); err == nil ||
+		!strings.Contains(err.Error(), "different dataset") {
+		t.Fatalf("foreign artifact loaded (err=%v)", err)
+	}
+	reg, err := registry.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AttachRegistry(reg)
+	if _, err := p.Publish(tr); err == nil ||
+		!strings.Contains(err.Error(), "different dataset") {
+		t.Fatalf("foreign artifact published (err=%v)", err)
 	}
 }

@@ -36,6 +36,10 @@ type Trained interface {
 	// Predict returns one ranking score per sector for day t+Horizon(),
 	// from the window of w days ending at t.
 	Predict(c *Context, t, w int) ([]float64, error)
+	// DatasetFingerprint is Context.DatasetFingerprint of the training data,
+	// stamped at Fit time; zero for artifacts decoded from the version-1
+	// envelope (which predates the field).
+	DatasetFingerprint() uint64
 	// Bytes estimates the artifact's in-memory footprint (cache budgets).
 	Bytes() int64
 }
@@ -46,13 +50,22 @@ type artifactMeta struct {
 	target Target
 	h, w   int
 	cutoff int
+	fp     uint64 // training-dataset fingerprint; 0 = unknown (v1 envelope)
 }
 
-func (m artifactMeta) ModelName() string { return m.name }
-func (m artifactMeta) Target() Target    { return m.target }
-func (m artifactMeta) Horizon() int      { return m.h }
-func (m artifactMeta) Window() int       { return m.w }
-func (m artifactMeta) Cutoff() int       { return m.cutoff }
+func (m artifactMeta) ModelName() string          { return m.name }
+func (m artifactMeta) Target() Target             { return m.target }
+func (m artifactMeta) Horizon() int               { return m.h }
+func (m artifactMeta) Window() int                { return m.w }
+func (m artifactMeta) Cutoff() int                { return m.cutoff }
+func (m artifactMeta) DatasetFingerprint() uint64 { return m.fp }
+
+// newMeta assembles the shared artifact identity for a fit at
+// (target, t, h, w), stamping the context's dataset fingerprint.
+func newMeta(c *Context, name string, target Target, t, h, w int) artifactMeta {
+	return artifactMeta{name: name, target: target, h: h, w: w, cutoff: t - h,
+		fp: c.DatasetFingerprint()}
+}
 
 // Artifact kind tags — also the on-disk kind byte, so the values are part
 // of the codec and must never be renumbered.
@@ -89,6 +102,9 @@ func (a *baselineArtifact) Bytes() int64 { return 96 }
 func (a *baselineArtifact) Predict(c *Context, t, w int) ([]float64, error) {
 	if err := c.CheckPredict(t, w); err != nil {
 		return nil, err
+	}
+	if w != a.w {
+		return nil, fmt.Errorf("forecast: %s artifact trained with window w=%d, asked to predict with w=%d", a.name, a.w, w)
 	}
 	if a.kind != kindRandom && t >= c.Days() {
 		return nil, fmt.Errorf("forecast: %s needs data at day t=%d, grid has %d days", a.name, t, c.Days())
@@ -164,6 +180,12 @@ func (a *classifierArtifact) Predict(c *Context, t, w int) ([]float64, error) {
 	if err := c.CheckPredict(t, w); err != nil {
 		return nil, err
 	}
+	// The width check below is blind to w for fixed-width extractors
+	// (HandCrafted), so the window itself is part of the contract: a
+	// mismatch would silently score features the model never saw.
+	if w != a.w {
+		return nil, fmt.Errorf("forecast: %s artifact trained with window w=%d, asked to predict with w=%d", a.name, a.w, w)
+	}
 	if got := a.extractor.Width(c.View, w); got != a.width {
 		return nil, fmt.Errorf("forecast: %s artifact trained on %d features, window w=%d yields %d",
 			a.name, a.width, w, got)
@@ -196,13 +218,18 @@ func (a *classifierArtifact) Predict(c *Context, t, w int) ([]float64, error) {
 func (a *classifierArtifact) Importances() []float64 { return a.importances }
 
 // Artifact envelope constants: 4-byte magic, then a version word. Decoding
-// refuses other versions, so incompatible format changes must bump
+// refuses unknown versions, so incompatible format changes must bump
 // ArtifactVersion.
 var artifactMagic = [4]byte{'H', 'O', 'T', 'M'}
 
-// ArtifactVersion is the serialization format version this build reads and
-// writes.
-const ArtifactVersion uint16 = 1
+// ArtifactVersion is the serialization format version this build writes.
+// Version 2 added the training-dataset fingerprint (u64, after the cutoff);
+// version-1 artifacts still decode, with a zero ("unknown") fingerprint.
+const ArtifactVersion uint16 = 2
+
+// artifactVersionNoFP is the pre-fingerprint envelope this build still
+// reads for backward compatibility.
+const artifactVersionNoFP uint16 = 1
 
 // EncodeModel serializes a trained artifact to the versioned binary
 // format. Decoding the result with DecodeModel yields an artifact whose
@@ -239,6 +266,7 @@ func EncodeModel(tr Trained) ([]byte, error) {
 	b = binenc.AppendU32(b, uint32(tr.Horizon()))
 	b = binenc.AppendU32(b, uint32(tr.Window()))
 	b = binenc.AppendI32(b, int32(tr.Cutoff()))
+	b = binenc.AppendU64(b, tr.DatasetFingerprint())
 	b = binenc.AppendString(b, tr.ModelName())
 	return payload(b), nil
 }
@@ -251,8 +279,9 @@ func DecodeModel(data []byte) (Trained, error) {
 		return nil, fmt.Errorf("forecast: not a model artifact (bad magic)")
 	}
 	r := binenc.NewReader(data[4:])
-	if v := r.U16(); v != ArtifactVersion {
-		return nil, fmt.Errorf("forecast: artifact version %d unsupported (this build reads version %d)", v, ArtifactVersion)
+	v := r.U16()
+	if v != ArtifactVersion && v != artifactVersionNoFP {
+		return nil, fmt.Errorf("forecast: artifact version %d unsupported (this build reads versions %d-%d)", v, artifactVersionNoFP, ArtifactVersion)
 	}
 	kind := r.U8()
 	target := Target(r.U8())
@@ -261,6 +290,9 @@ func DecodeModel(data []byte) (Trained, error) {
 		w:      int(r.U32()),
 		cutoff: int(r.I32()),
 		target: target,
+	}
+	if v >= 2 {
+		meta.fp = r.U64()
 	}
 	meta.name = r.String()
 	if err := r.Err(); err != nil {

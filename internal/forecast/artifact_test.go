@@ -3,6 +3,8 @@ package forecast
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/binenc"
 )
 
 // artifactModels returns one instance of every model kind, with the GBT
@@ -175,9 +177,10 @@ func TestSaveLoadModelFile(t *testing.T) {
 	}
 }
 
-// TestClassifierArtifactRejectsMismatchedWindow: a window whose feature
-// width differs from the trained width must be rejected (raw/percentile
-// widths scale with w).
+// TestClassifierArtifactRejectsMismatchedWindow: predicting with a window
+// other than the trained one must be rejected for every artifact kind —
+// including fixed-width extractors and baselines, whose feature widths do
+// not betray the mismatch.
 func TestClassifierArtifactRejectsMismatchedWindow(t *testing.T) {
 	c := testContext(t, 80, 8, 35)
 	c.ForestTrees = 4
@@ -185,8 +188,24 @@ func TestClassifierArtifactRejectsMismatchedWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.Predict(c, 28, 5); err == nil || !strings.Contains(err.Error(), "features") {
+	if _, err := tr.Predict(c, 28, 5); err == nil || !strings.Contains(err.Error(), "window") {
 		t.Fatalf("mismatched window accepted (err=%v)", err)
+	}
+	// RF-F2's HandCrafted features have w-independent width; the window
+	// check must still fire.
+	rf2, err := NewRFF2().Fit(c, BeHot, 28, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rf2.Predict(c, 28, 5); err == nil || !strings.Contains(err.Error(), "window") {
+		t.Fatalf("fixed-width extractor window mismatch accepted (err=%v)", err)
+	}
+	avg, err := (AverageModel{}).Fit(c, BeHot, 28, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := avg.Predict(c, 28, 5); err == nil || !strings.Contains(err.Error(), "window") {
+		t.Fatalf("baseline window mismatch accepted (err=%v)", err)
 	}
 }
 
@@ -207,6 +226,85 @@ func TestArtifactDecodeRejectsWidthMismatch(t *testing.T) {
 	}
 	if _, err := DecodeModel(data); err == nil || !strings.Contains(err.Error(), "width") {
 		t.Fatalf("width/learner mismatch accepted (err=%v)", err)
+	}
+}
+
+// TestArtifactFingerprintRoundTrip: Fit stamps the training context's
+// dataset fingerprint, the version-2 envelope carries it bit-exactly, and
+// CheckArtifact accepts the training dataset while rejecting a different
+// one — the guard behind hotserve's load-time mismatch errors.
+func TestArtifactFingerprintRoundTrip(t *testing.T) {
+	c := testContext(t, 80, 8, 36)
+	other := testContext(t, 80, 8, 37) // different seed -> different dataset
+	if c.DatasetFingerprint() == 0 || c.DatasetFingerprint() == other.DatasetFingerprint() {
+		t.Fatalf("fingerprints not distinguishing datasets: %016x vs %016x",
+			c.DatasetFingerprint(), other.DatasetFingerprint())
+	}
+	if c.DatasetFingerprint() != c.DatasetFingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	tr, err := (AverageModel{}).Fit(c, BeHot, 28, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DatasetFingerprint() != c.DatasetFingerprint() {
+		t.Fatalf("fit stamped %016x, context is %016x", tr.DatasetFingerprint(), c.DatasetFingerprint())
+	}
+	data, err := EncodeModel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DatasetFingerprint() != tr.DatasetFingerprint() {
+		t.Fatalf("fingerprint lost in round trip: %016x != %016x",
+			got.DatasetFingerprint(), tr.DatasetFingerprint())
+	}
+	if err := c.CheckArtifact(got); err != nil {
+		t.Fatalf("training context rejected its own artifact: %v", err)
+	}
+	if err := other.CheckArtifact(got); err == nil || !strings.Contains(err.Error(), "different dataset") {
+		t.Fatalf("foreign dataset accepted (err=%v)", err)
+	}
+}
+
+// TestArtifactDecodeVersion1: the pre-fingerprint envelope still decodes —
+// with a zero fingerprint that CheckArtifact passes unchecked — so
+// artifacts written before PR 4 keep serving.
+func TestArtifactDecodeVersion1(t *testing.T) {
+	c := testContext(t, 60, 8, 38)
+	b := append([]byte(nil), artifactMagic[:]...)
+	b = binenc.AppendU16(b, artifactVersionNoFP)
+	b = binenc.AppendU8(b, kindAverage)
+	b = binenc.AppendU8(b, uint8(BeHot))
+	b = binenc.AppendU32(b, 1) // h
+	b = binenc.AppendU32(b, 3) // w
+	b = binenc.AppendI32(b, 27)
+	b = binenc.AppendString(b, "Average")
+	got, err := DecodeModel(b)
+	if err != nil {
+		t.Fatalf("version-1 envelope rejected: %v", err)
+	}
+	if got.DatasetFingerprint() != 0 {
+		t.Fatalf("version-1 artifact has fingerprint %016x, want 0", got.DatasetFingerprint())
+	}
+	if err := c.CheckArtifact(got); err != nil {
+		t.Fatalf("legacy artifact rejected: %v", err)
+	}
+	want, err := (AverageModel{}).Forecast(c, BeHot, 28, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.Predict(c, 28, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("sector %d: legacy artifact predicts %v, want %v", i, have[i], want[i])
+		}
 	}
 }
 

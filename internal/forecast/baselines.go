@@ -26,7 +26,7 @@ func (m RandomModel) Fit(c *Context, target Target, t, h, w int) (Trained, error
 	if err := c.CheckFit(t, h, w); err != nil {
 		return nil, err
 	}
-	return &baselineArtifact{baselineMeta(m.Name(), target, t, h, w), kindRandom}, nil
+	return &baselineArtifact{newMeta(c, m.Name(), target, t, h, w), kindRandom}, nil
 }
 
 // Forecast implements Model.
@@ -48,7 +48,7 @@ func (m PersistModel) Fit(c *Context, target Target, t, h, w int) (Trained, erro
 	if err := c.CheckFit(t, h, w); err != nil {
 		return nil, err
 	}
-	return &baselineArtifact{baselineMeta(m.Name(), target, t, h, w), kindPersist}, nil
+	return &baselineArtifact{newMeta(c, m.Name(), target, t, h, w), kindPersist}, nil
 }
 
 // Forecast implements Model.
@@ -69,7 +69,7 @@ func (m AverageModel) Fit(c *Context, target Target, t, h, w int) (Trained, erro
 	if err := c.CheckFit(t, h, w); err != nil {
 		return nil, err
 	}
-	return &baselineArtifact{baselineMeta(m.Name(), target, t, h, w), kindAverage}, nil
+	return &baselineArtifact{newMeta(c, m.Name(), target, t, h, w), kindAverage}, nil
 }
 
 // Forecast implements Model.
@@ -95,18 +95,12 @@ func (m TrendModel) Fit(c *Context, target Target, t, h, w int) (Trained, error)
 	if err := c.CheckFit(t, h, w); err != nil {
 		return nil, err
 	}
-	return &baselineArtifact{baselineMeta(m.Name(), target, t, h, w), kindTrend}, nil
+	return &baselineArtifact{newMeta(c, m.Name(), target, t, h, w), kindTrend}, nil
 }
 
 // Forecast implements Model.
 func (m TrendModel) Forecast(c *Context, target Target, t, h, w int) ([]float64, error) {
 	return fitPredict(m, c, target, t, h, w)
-}
-
-// baselineMeta assembles the shared artifact identity for a fit at
-// (target, t, h, w).
-func baselineMeta(name string, target Target, t, h, w int) artifactMeta {
-	return artifactMeta{name: name, target: target, h: h, w: w, cutoff: t - h}
 }
 
 // sanitizeScore maps NaN (no data in window) to 0 so rankings stay total.

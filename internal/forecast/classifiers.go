@@ -179,7 +179,7 @@ func (m *ClassifierModel) Fit(c *Context, target Target, t, h, w int) (Trained, 
 	}
 	n := c.Sectors()
 	y := c.Labels(target)
-	meta := artifactMeta{name: m.ModelName, target: target, h: h, w: w, cutoff: t - h}
+	meta := newMeta(c, m.ModelName, target, t, h, w)
 
 	// Assemble the training set: TrainDays label days, h-delayed windows.
 	allSectors := m.SectorSubset == nil

@@ -6,7 +6,10 @@
 package forecast
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sync"
 
 	"repro/internal/featcache"
@@ -87,6 +90,9 @@ type Context struct {
 	modelMu    sync.Mutex
 	models     *modelcache.Cache[Trained]
 	modelLimit int64
+
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // NewContext assembles a Context from a scored dataset.
@@ -160,6 +166,59 @@ func (c *Context) checkHistory(t, h, w int) error {
 	earliest := t - h - w - (c.TrainDays - 1)
 	if earliest < 0 {
 		return fmt.Errorf("forecast: t=%d h=%d w=%d needs day %d of history", t, h, w, earliest)
+	}
+	return nil
+}
+
+// DatasetFingerprint returns a stable 64-bit hash identifying the dataset
+// behind this context: the sector set, the day range and the KPI layout.
+// Fit stamps it into every artifact (and the .hotm envelope carries it), so
+// a serving context can detect an artifact trained on different data before
+// it produces silently wrong rankings. The hash covers the tensor shapes,
+// the full daily score matrix and a deterministic stride of the raw KPI
+// tensor; it is computed once per context and never zero.
+func (c *Context) DatasetFingerprint() uint64 {
+	c.fpOnce.Do(func() {
+		h := fnv.New64a()
+		var buf [8]byte
+		put := func(v uint64) {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			h.Write(buf[:])
+		}
+		k := c.View.K
+		put(uint64(k.N))
+		put(uint64(k.T))
+		put(uint64(k.F))
+		put(uint64(c.View.Channels()))
+		for _, v := range c.Sd.Data {
+			put(math.Float64bits(v))
+		}
+		// Sample the raw KPI tensor on a deterministic stride: two datasets
+		// with equal scores but different measurements still differ here.
+		stride := len(k.Data)/(1<<16) + 1
+		for i := 0; i < len(k.Data); i += stride {
+			put(math.Float64bits(k.Data[i]))
+		}
+		c.fp = h.Sum64()
+		if c.fp == 0 { // keep 0 free as the "legacy artifact, unknown" sentinel
+			c.fp = 1
+		}
+	})
+	return c.fp
+}
+
+// CheckArtifact verifies that tr was trained on the dataset behind this
+// context, by fingerprint. Artifacts from the version-1 envelope carry no
+// fingerprint (zero) and pass unchecked — the caller keeps the pre-PR-4
+// trust model for those files.
+func (c *Context) CheckArtifact(tr Trained) error {
+	fp := tr.DatasetFingerprint()
+	if fp == 0 {
+		return nil
+	}
+	if got := c.DatasetFingerprint(); fp != got {
+		return fmt.Errorf("forecast: artifact %s (target %s, h=%d w=%d) was trained on a different dataset: fingerprint %016x, serving data %016x",
+			tr.ModelName(), tr.Target(), tr.Horizon(), tr.Window(), fp, got)
 	}
 	return nil
 }

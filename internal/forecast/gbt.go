@@ -51,7 +51,7 @@ func (m *GBTModel) Fit(c *Context, target Target, t, h, w int) (Trained, error) 
 	}
 	n := c.Sectors()
 	y := c.Labels(target)
-	meta := artifactMeta{name: m.Name(), target: target, h: h, w: w, cutoff: t - h}
+	meta := newMeta(c, m.Name(), target, t, h, w)
 	trainSectors := make([]int, n)
 	for i := range trainSectors {
 		trainSectors[i] = i

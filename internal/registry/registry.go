@@ -1,0 +1,517 @@
+// Package registry is the versioned on-disk model store behind the
+// train → publish → serve → reload workflow: operators retrain per-sector
+// rankers as new days of KPI data arrive, publish each fit as a new
+// version, and serving processes (cmd/hotserve) pick the fresh version up
+// without a restart.
+//
+// A registry owns one directory containing:
+//
+//   - manifest.json — the index: every task (model, target, h, w) mapped to
+//     its ordered version history, plus a global monotonically increasing
+//     version counter;
+//   - v<NNNNNN>-<model>.hotm — one artifact file per published version, in
+//     the forecast package's versioned binary envelope.
+//
+// Durability model: an artifact is written to a temp file, fsynced and
+// renamed into place before the manifest is rewritten the same way, so the
+// manifest only ever references fully durable artifacts and a crash at any
+// point leaves the previous manifest — and every version it names —
+// intact. Leftover *.tmp files and orphan artifacts (published file, crash
+// before the manifest rename) are ignored: the manifest is the sole source
+// of truth.
+//
+// Concurrency model: one process may publish and many may read. Readers
+// work from an immutable manifest snapshot behind an atomic pointer, so
+// List/Latest/Load never block behind a publish; decoded artifacts are
+// shared through a single-flight byte-budgeted cache (internal/modelcache),
+// so concurrent requests for one version decode it once. A reader in
+// another process calls Refresh (cmd/hotserve polls the manifest mtime or
+// reloads on demand) to pick up published versions.
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/forecast"
+	"repro/internal/modelcache"
+)
+
+// manifestName is the index file inside a registry directory.
+const manifestName = "manifest.json"
+
+// formatVersion is the manifest schema version this build reads and writes.
+const formatVersion = 1
+
+// TaskKey identifies one serving task: the coordinates a request selects an
+// artifact by. Versions of one key form the task's retraining history.
+type TaskKey struct {
+	// Model is the paper model name (Average ... GBT-F1).
+	Model string `json:"model"`
+	// Target is the forecast target as an int (forecast.Target).
+	Target int `json:"target"`
+	// H is the forecast horizon, W the past-window length.
+	H int `json:"h"`
+	W int `json:"w"`
+}
+
+// KeyFor derives the task key of a trained artifact.
+func KeyFor(tr forecast.Trained) TaskKey {
+	return TaskKey{Model: tr.ModelName(), Target: int(tr.Target()), H: tr.Horizon(), W: tr.Window()}
+}
+
+// String renders the key the way hotserve's selectors spell it.
+func (k TaskKey) String() string {
+	return fmt.Sprintf("%s/%s/h=%d/w=%d", k.Model, forecast.Target(k.Target), k.H, k.W)
+}
+
+// Version is one published artifact: an immutable manifest entry.
+type Version struct {
+	// ID is the registry-wide monotonically increasing version number.
+	ID int `json:"id"`
+	// File is the artifact's filename inside the registry directory.
+	File string `json:"file"`
+	// Cutoff is the artifact's train-data boundary (Trained.Cutoff): the
+	// freshness of the fit.
+	Cutoff int `json:"cutoff"`
+	// Fingerprint is the training-dataset fingerprint as 16 hex digits
+	// (forecast.Context.DatasetFingerprint); "" for legacy artifacts.
+	Fingerprint string `json:"fingerprint"`
+	// SizeBytes is the encoded artifact size on disk.
+	SizeBytes int64 `json:"size_bytes"`
+	// CreatedUnix is the publish time (Unix seconds).
+	CreatedUnix int64 `json:"created_unix"`
+}
+
+// Task is one key's version history, ascending by ID; the last entry is the
+// latest.
+type Task struct {
+	Key      TaskKey   `json:"key"`
+	Versions []Version `json:"versions"`
+}
+
+// manifest is the on-disk index.
+type manifest struct {
+	FormatVersion int    `json:"format_version"`
+	NextID        int    `json:"next_id"`
+	Tasks         []Task `json:"tasks"`
+}
+
+// clone deep-copies the manifest so writers never mutate a snapshot readers
+// hold.
+func (m *manifest) clone() *manifest {
+	out := &manifest{FormatVersion: m.FormatVersion, NextID: m.NextID,
+		Tasks: make([]Task, len(m.Tasks))}
+	for i, task := range m.Tasks {
+		out.Tasks[i] = Task{Key: task.Key,
+			Versions: append([]Version(nil), task.Versions...)}
+	}
+	return out
+}
+
+// state is one immutable manifest snapshot plus the stat identity it was
+// read at (for cheap change detection) and a local reload generation.
+type state struct {
+	m       *manifest
+	modTime time.Time
+	size    int64
+	gen     uint64
+}
+
+// Registry is a handle on one registry directory. All methods are safe for
+// concurrent use; writes (Publish, Prune, Refresh) are serialized.
+type Registry struct {
+	dir   string
+	cache *modelcache.Cache[forecast.Trained] // nil when caching is disabled
+
+	mu  sync.Mutex // serializes writers and manifest swaps
+	cur atomic.Pointer[state]
+
+	// failpoint, when non-nil, is consulted before each durability-critical
+	// step of a publish ("artifact-write", "artifact-sync",
+	// "artifact-rename", "manifest-write", "manifest-sync",
+	// "manifest-rename"). A non-nil return aborts the publish at that stage
+	// with the torn on-disk state a real crash would leave — the
+	// crash-safety tests inject failures here.
+	failpoint func(stage string) error
+}
+
+// Open loads (or initializes) the registry at dir, creating the directory
+// if needed. cacheBytes bounds the decoded-artifact cache: 0 selects
+// forecast.DefaultModelCacheBytes, negative disables caching.
+func Open(dir string, cacheBytes int64) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	r := &Registry{dir: dir}
+	if cacheBytes >= 0 {
+		if cacheBytes == 0 {
+			cacheBytes = forecast.DefaultModelCacheBytes
+		}
+		r.cache = modelcache.New[forecast.Trained](cacheBytes)
+	}
+	st, err := r.readManifest()
+	if err != nil {
+		return nil, err
+	}
+	r.cur.Store(st)
+	return r, nil
+}
+
+// Dir returns the registry directory.
+func (r *Registry) Dir() string { return r.dir }
+
+// ManifestPath returns the path of the registry's index file.
+func (r *Registry) ManifestPath() string { return filepath.Join(r.dir, manifestName) }
+
+// Generation counts successful manifest (re)loads on this handle: it
+// changes exactly when Refresh observes a new manifest, so pollers can
+// cheaply detect "something reloaded".
+func (r *Registry) Generation() uint64 { return r.cur.Load().gen }
+
+// readManifest loads the on-disk manifest (an absent file is the empty
+// registry). Callers swap the returned state in under r.mu.
+func (r *Registry) readManifest() (*state, error) {
+	path := r.ManifestPath()
+	fi, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return &state{m: &manifest{FormatVersion: formatVersion, NextID: 1}}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("registry: corrupt manifest %s: %w", path, err)
+	}
+	if m.FormatVersion != formatVersion {
+		return nil, fmt.Errorf("registry: manifest %s has format version %d (this build reads %d)",
+			path, m.FormatVersion, formatVersion)
+	}
+	return &state{m: &m, modTime: fi.ModTime(), size: fi.Size()}, nil
+}
+
+// Refresh re-reads the manifest if it changed on disk since this handle
+// last loaded it (another process published or pruned), reporting whether a
+// new manifest was picked up. Parse failures leave the current snapshot
+// serving.
+func (r *Registry) Refresh() (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.cur.Load()
+	fi, err := os.Stat(r.ManifestPath())
+	if os.IsNotExist(err) {
+		return false, nil // nothing published yet; keep the empty snapshot
+	}
+	if err != nil {
+		return false, fmt.Errorf("registry: %w", err)
+	}
+	if fi.ModTime().Equal(cur.modTime) && fi.Size() == cur.size {
+		return false, nil
+	}
+	st, err := r.readManifest()
+	if err != nil {
+		return false, err
+	}
+	st.gen = cur.gen + 1
+	r.cur.Store(st)
+	return true, nil
+}
+
+// fail consults the publish failpoint (tests only; nil in production).
+func (r *Registry) fail(stage string) error {
+	if r.failpoint == nil {
+		return nil
+	}
+	return r.failpoint(stage)
+}
+
+// writeFileAtomic durably writes name inside the registry directory:
+// temp file, fsync, rename. On error the temp file is left behind, exactly
+// like a crash — Open and the manifest ignore it.
+func (r *Registry) writeFileAtomic(name, kind string, data []byte) error {
+	path := filepath.Join(r.dir, name)
+	tmp := path + ".tmp"
+	if err := r.fail(kind + "-write"); err != nil {
+		_ = os.WriteFile(tmp, data[:len(data)/2], 0o644) // torn temp, as a crash mid-write leaves
+		return err
+	}
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("registry: %w", err)
+	}
+	if err := r.fail(kind + "-sync"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("registry: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	if err := r.fail(kind + "-rename"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	syncDir(r.dir)
+	return nil
+}
+
+// syncDir best-effort fsyncs the directory so the rename itself is durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// writeManifest durably replaces the manifest. Callers hold r.mu.
+func (r *Registry) writeManifest(m *manifest) (*state, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	data = append(data, '\n')
+	if err := r.writeFileAtomic(manifestName, "manifest", data); err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(r.ManifestPath())
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	return &state{m: m, modTime: fi.ModTime(), size: fi.Size()}, nil
+}
+
+// artifactFile names a version's artifact on disk.
+func artifactFile(id int, model string) string {
+	slug := strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			return c
+		case c >= 'A' && c <= 'Z':
+			return c + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, model)
+	return fmt.Sprintf("v%06d-%s.hotm", id, slug)
+}
+
+// Publish durably stores tr as the new latest version of its task: the
+// artifact file lands (temp + fsync + rename) before the manifest is
+// atomically replaced, so a crash at any stage leaves the previous latest
+// version fully readable. Returns the new version entry.
+func (r *Registry) Publish(tr forecast.Trained) (Version, error) {
+	data, err := forecast.EncodeModel(tr)
+	if err != nil {
+		return Version{}, fmt.Errorf("registry: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.cur.Load()
+	id := cur.m.NextID
+	v := Version{
+		ID:          id,
+		File:        artifactFile(id, tr.ModelName()),
+		Cutoff:      tr.Cutoff(),
+		SizeBytes:   int64(len(data)),
+		CreatedUnix: time.Now().Unix(),
+	}
+	if fp := tr.DatasetFingerprint(); fp != 0 {
+		v.Fingerprint = fmt.Sprintf("%016x", fp)
+	}
+	if err := r.writeFileAtomic(v.File, "artifact", data); err != nil {
+		return Version{}, err
+	}
+	next := cur.m.clone()
+	next.NextID = id + 1
+	key := KeyFor(tr)
+	idx := -1
+	for i := range next.Tasks {
+		if next.Tasks[i].Key == key {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		next.Tasks = append(next.Tasks, Task{Key: key})
+		idx = len(next.Tasks) - 1
+		sort.Slice(next.Tasks, func(a, b int) bool { return taskLess(next.Tasks[a].Key, next.Tasks[b].Key) })
+		for i := range next.Tasks {
+			if next.Tasks[i].Key == key {
+				idx = i
+				break
+			}
+		}
+	}
+	next.Tasks[idx].Versions = append(next.Tasks[idx].Versions, v)
+	st, err := r.writeManifest(next)
+	if err != nil {
+		// The artifact file may have landed; it is an ignored orphan until a
+		// later publish of the same ID overwrites it.
+		return Version{}, err
+	}
+	st.gen = cur.gen + 1
+	r.cur.Store(st)
+	return v, nil
+}
+
+// taskLess orders tasks deterministically in the manifest (and List).
+func taskLess(a, b TaskKey) bool {
+	if a.Model != b.Model {
+		return a.Model < b.Model
+	}
+	if a.Target != b.Target {
+		return a.Target < b.Target
+	}
+	if a.H != b.H {
+		return a.H < b.H
+	}
+	return a.W < b.W
+}
+
+// List returns a snapshot of every task and its full version history,
+// deterministically ordered. The result is the caller's to keep.
+func (r *Registry) List() []Task {
+	return r.cur.Load().m.clone().Tasks
+}
+
+// Latest returns the newest version of key, if the task has any.
+func (r *Registry) Latest(key TaskKey) (Version, bool) {
+	m := r.cur.Load().m
+	for i := range m.Tasks {
+		if m.Tasks[i].Key == key && len(m.Tasks[i].Versions) > 0 {
+			return m.Tasks[i].Versions[len(m.Tasks[i].Versions)-1], true
+		}
+	}
+	return Version{}, false
+}
+
+// Get returns version id of key.
+func (r *Registry) Get(key TaskKey, id int) (Version, bool) {
+	m := r.cur.Load().m
+	for i := range m.Tasks {
+		if m.Tasks[i].Key != key {
+			continue
+		}
+		for _, v := range m.Tasks[i].Versions {
+			if v.ID == id {
+				return v, true
+			}
+		}
+	}
+	return Version{}, false
+}
+
+// Load decodes v's artifact, through the registry's single-flight
+// byte-budgeted cache: concurrent readers of one version share one decode,
+// and hot versions stay resident within the byte budget. The manifest
+// metadata is cross-checked against the decoded artifact, so a swapped or
+// doctored file fails loudly.
+func (r *Registry) Load(v Version) (forecast.Trained, error) {
+	build := func() (forecast.Trained, error) {
+		tr, err := forecast.LoadModelFile(filepath.Join(r.dir, v.File))
+		if err != nil {
+			return nil, fmt.Errorf("registry: version %d: %w", v.ID, err)
+		}
+		if tr.Cutoff() != v.Cutoff {
+			return nil, fmt.Errorf("registry: version %d: artifact cutoff %d does not match manifest cutoff %d",
+				v.ID, tr.Cutoff(), v.Cutoff)
+		}
+		if fp := tr.DatasetFingerprint(); fp != 0 && v.Fingerprint != fmt.Sprintf("%016x", fp) {
+			return nil, fmt.Errorf("registry: version %d: artifact fingerprint %016x does not match manifest %q",
+				v.ID, fp, v.Fingerprint)
+		}
+		return tr, nil
+	}
+	if r.cache == nil {
+		return build()
+	}
+	// The file name is unique per version within the registry, so it is the
+	// cache identity; the remaining key fields disambiguate nothing further.
+	return r.cache.GetOrFit(modelcache.Key{Model: "registry:" + v.File, Cutoff: v.ID}, build)
+}
+
+// LoadLatest resolves and decodes the newest version of key, verifying the
+// artifact actually is that task's model.
+func (r *Registry) LoadLatest(key TaskKey) (forecast.Trained, Version, error) {
+	v, ok := r.Latest(key)
+	if !ok {
+		return nil, Version{}, fmt.Errorf("registry: no versions published for %s", key)
+	}
+	tr, err := r.Load(v)
+	if err != nil {
+		return nil, Version{}, err
+	}
+	if got := KeyFor(tr); got != key {
+		return nil, Version{}, fmt.Errorf("registry: version %d: file %s holds %s, manifest says %s",
+			v.ID, v.File, got, key)
+	}
+	return tr, v, nil
+}
+
+// CacheStats reports the decoded-artifact cache counters (zero value when
+// caching is disabled).
+func (r *Registry) CacheStats() modelcache.Stats {
+	if r.cache == nil {
+		return modelcache.Stats{}
+	}
+	return r.cache.Stats()
+}
+
+// Prune drops all but the newest keepN versions of every task: the manifest
+// is atomically replaced first, then the dropped artifact files are
+// removed, so a crash mid-prune leaves at worst ignored orphan files.
+// Serving processes that already loaded a dropped version keep their
+// decoded artifact — pruning unpublishes, it cannot yank memory. Returns
+// the dropped versions.
+func (r *Registry) Prune(keepN int) ([]Version, error) {
+	if keepN < 1 {
+		return nil, fmt.Errorf("registry: prune must keep at least 1 version, got %d", keepN)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.cur.Load()
+	next := cur.m.clone()
+	var dropped []Version
+	for i := range next.Tasks {
+		vs := next.Tasks[i].Versions
+		if len(vs) <= keepN {
+			continue
+		}
+		dropped = append(dropped, vs[:len(vs)-keepN]...)
+		next.Tasks[i].Versions = append([]Version(nil), vs[len(vs)-keepN:]...)
+	}
+	if len(dropped) == 0 {
+		return nil, nil
+	}
+	st, err := r.writeManifest(next)
+	if err != nil {
+		return nil, err
+	}
+	st.gen = cur.gen + 1
+	r.cur.Store(st)
+	for _, v := range dropped {
+		_ = os.Remove(filepath.Join(r.dir, v.File))
+	}
+	return dropped, nil
+}
