@@ -549,3 +549,101 @@ func BenchmarkForestFit(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Histogram-engine fit benchmarks: the exact (sort-based) split search
+// against the binned O(bins) one, per learner, on one shared synthetic
+// training set. Each hist arm includes its quantization cost — in the
+// serving/sweep stack the binned matrix is additionally cached and shared
+// across models and grid points, so these are conservative. CI runs them
+// with -benchmem and distills a machine-readable BENCH_train.json
+// baseline via cmd/benchjson; the acceptance bar is a >=3x forest/GBT
+// speedup of hist over exact.
+
+var (
+	trainBenchOnce sync.Once
+	trainBenchX    []float64
+	trainBenchY    []int
+	trainBenchW    []float64
+)
+
+const (
+	trainBenchN = 4000
+	trainBenchF = 100
+)
+
+// trainBenchData builds the shared fit-benchmark training set: the
+// BenchmarkForestFit distribution (five informative of 100 features) at
+// 4000 instances, roughly the default-scale sweep's training-block size
+// (TrainDays x sectors).
+func trainBenchData() ([]float64, []int, []float64) {
+	trainBenchOnce.Do(func() {
+		rng := randx.New(11, 12)
+		n, f := trainBenchN, trainBenchF
+		trainBenchX = make([]float64, n*f)
+		trainBenchY = make([]int, n)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < f; j++ {
+				v := rng.Norm(0, 1)
+				trainBenchX[i*f+j] = v
+				if j < 5 {
+					s += v
+				}
+			}
+			if s > 0 {
+				trainBenchY[i] = 1
+			}
+		}
+		trainBenchW = mltree.BalancedWeights(trainBenchY, 2)
+	})
+	return trainBenchX, trainBenchY, trainBenchW
+}
+
+func benchFitTree(b *testing.B, algo mltree.SplitAlgo) {
+	x, y, w := trainBenchData()
+	cfg := mltree.TreeConfig()
+	cfg.Algo = algo
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := randx.New(uint64(i+1), 7)
+		if _, err := mltree.FitTree(x, trainBenchN, trainBenchF, y, w, 2, cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitTreeExact(b *testing.B) { benchFitTree(b, mltree.SplitExact) }
+func BenchmarkFitTreeHist(b *testing.B)  { benchFitTree(b, mltree.SplitHist) }
+
+func benchFitForest(b *testing.B, algo mltree.SplitAlgo) {
+	x, y, w := trainBenchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := mltree.DefaultForestConfig()
+		cfg.Tree.Algo = algo
+		cfg.Seed = uint64(i + 1)
+		if _, err := mltree.FitForest(x, trainBenchN, trainBenchF, y, w, 2, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitForestExact(b *testing.B) { benchFitForest(b, mltree.SplitExact) }
+func BenchmarkFitForestHist(b *testing.B)  { benchFitForest(b, mltree.SplitHist) }
+
+func benchFitGBT(b *testing.B, algo mltree.SplitAlgo) {
+	x, y, w := trainBenchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := mltree.DefaultGBTConfig()
+		cfg.Algo = algo
+		cfg.Seed = uint64(i + 1)
+		if _, err := mltree.FitGBT(x, trainBenchN, trainBenchF, y, w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitGBTExact(b *testing.B) { benchFitGBT(b, mltree.SplitExact) }
+func BenchmarkFitGBTHist(b *testing.B)  { benchFitGBT(b, mltree.SplitHist) }

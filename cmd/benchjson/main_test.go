@@ -1,0 +1,66 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	transcript := `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFitForestExact-8   	       1	945123456 ns/op	123456 B/op	    7890 allocs/op
+BenchmarkFitForestHist-8    	       4	270123456 ns/op	 65432 B/op	    1234 allocs/op
+BenchmarkServeBatch         	     100	   1234567 ns/op	      12345 forecasts/s
+--- BENCH: BenchmarkSomething
+PASS
+ok  	repro	12.3s
+`
+	report, err := parse(strings.NewReader(transcript), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("parsed %d entries, want 3: %v", len(report.Benchmarks), report.Benchmarks)
+	}
+	e := report.Benchmarks[0]
+	if e.Name != "FitForestExact" || e.Procs != 8 || e.Iterations != 1 {
+		t.Fatalf("entry 0 = %v", e)
+	}
+	if e.Metrics["ns/op"] != 945123456 || e.Metrics["B/op"] != 123456 || e.Metrics["allocs/op"] != 7890 {
+		t.Fatalf("entry 0 metrics = %v", e.Metrics)
+	}
+	// No -procs suffix and a custom metric unit.
+	e = report.Benchmarks[2]
+	if e.Name != "ServeBatch" || e.Procs != 1 || e.Metrics["forecasts/s"] != 12345 {
+		t.Fatalf("entry 2 = %v", e)
+	}
+}
+
+func TestParseMatchFilter(t *testing.T) {
+	transcript := `BenchmarkFitForestHist-8 1 5 ns/op
+BenchmarkServeBatch-8 1 5 ns/op
+`
+	report, err := parse(strings.NewReader(transcript), regexp.MustCompile(`^Fit`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 1 || report.Benchmarks[0].Name != "FitForestHist" {
+		t.Fatalf("filter kept %v", report.Benchmarks)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"Benchmark",                     // no metrics
+		"BenchmarkX-4 notanint 5 ns/op", // bad iteration count
+		"BenchmarkX-4 2 five ns/op",     // bad value
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("noise line parsed as benchmark: %q", line)
+		}
+	}
+}

@@ -13,6 +13,7 @@
 //	hotbench -skip-forecast   # descriptive analyses only
 //	hotbench -workers 8       # bound the parallel sweep engine
 //	hotbench -cache-mb 512    # feature-matrix cache budget (0 disables)
+//	hotbench -split-algo hist # histogram-binned tree training (exact | hist | auto)
 //	hotbench -csv sweep.csv   # stream the Table III sweep to CSV live
 //	hotbench -cpuprofile cpu.pprof -memprofile mem.pprof   # profile the run
 package main
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/forecast"
+	"repro/internal/mltree"
 )
 
 func main() {
@@ -56,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		seed         = fs.Uint64("seed", 1, "random seed")
 		workers      = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		cacheMB      = fs.Int("cache-mb", 256, "feature-matrix cache budget in MiB (0 disables caching)")
+		splitAlgo    = fs.String("split-algo", "exact", "tree-training split search: exact | hist | auto")
 		csvPath      = fs.String("csv", "", "stream the scale's full model sweep to this CSV file as records complete")
 		skipForecast = fs.Bool("skip-forecast", false, "run only the descriptive analyses")
 		skipImpute   = fs.Bool("skip-impute", false, "skip the Fig 5 autoencoder comparison")
@@ -110,6 +113,11 @@ func run(args []string, out io.Writer) error {
 	scale.Seed = *seed
 	scale.Workers = *workers
 	scale.CacheBytes = forecast.CacheBytesMB(*cacheMB)
+	algo, err := mltree.ParseSplitAlgo(*splitAlgo)
+	if err != nil {
+		return err
+	}
+	scale.SplitAlgo = algo
 
 	start := time.Now()
 	env, err := experiments.Prepare(scale)

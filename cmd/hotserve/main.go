@@ -33,9 +33,12 @@
 //	POST /reload          re-read the registry manifest and hot-swap the
 //	                      active artifact set (registry mode only)
 //
-// Concurrent /forecast and /forecast/batch requests are bounded by
-// -max-inflight (admission control through internal/parallel's semaphore);
-// excess requests get 503 rather than queuing without bound. SIGINT/SIGTERM
+// Concurrent forecast work is bounded by -max-inflight (admission control
+// through internal/parallel's semaphore) with weighted charging: a
+// /forecast call costs one slot, a /forecast/batch of k queries costs
+// min(k, -max-inflight) slots all-or-nothing — so the bound tracks
+// forecasts in flight, not requests. Excess work gets 503 rather than
+// queuing without bound. SIGINT/SIGTERM
 // stop the listener and drain in-flight requests for up to -drain before
 // the process exits.
 package main
@@ -533,21 +536,21 @@ func (s *server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
-// handleBatch scores many queries in one round trip: the request holds one
-// admission slot, snapshots the active artifact set once (every query in a
-// batch sees one generation, even across a concurrent hot swap) and fans
-// the queries across cores through internal/parallel. Per-query failures
-// land inline so one bad query cannot void its siblings.
+// handleBatch scores many queries in one round trip with weighted
+// admission: a batch of k queries charges min(k, -max-inflight) slots —
+// not the single slot of a /forecast call — so -max-inflight bounds
+// concurrent forecast work rather than concurrent requests, and a burst of
+// large batches sheds load exactly like the same burst of single calls.
+// The charge is one atomic all-or-nothing claim after parsing (503 when
+// the remaining capacity cannot cover it; the cap keeps a full batch
+// admissible on an idle server; parsing itself is cheap and body-bounded,
+// so it runs unadmitted — holding a partial claim across the parse would
+// let two concurrent batches starve each other into mutual 503s). The
+// handler snapshots the active artifact set once (every query in a batch
+// sees one generation, even across a concurrent hot swap) and fans the
+// queries across cores through internal/parallel. Per-query failures land
+// inline so one bad query cannot void its siblings.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if !s.sem.TryAcquire() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "server at capacity, retry later"})
-		return
-	}
-	defer s.sem.Release()
-	if s.testHookForecast != nil {
-		s.testHookForecast()
-	}
-
 	var req struct {
 		Queries []batchQuery `json:"queries"`
 	}
@@ -568,22 +571,27 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			"error": fmt.Sprintf("batch of %d exceeds the %d-query limit", len(req.Queries), s.batchMax)})
 		return
 	}
+	cost := len(req.Queries)
+	if max := s.sem.Cap(); cost > max {
+		cost = max
+	}
+	if !s.sem.TryAcquireN(cost) {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error": fmt.Sprintf("server at capacity: batch of %d needs %d of %d slots, retry later",
+				len(req.Queries), cost, s.sem.Cap())})
+		return
+	}
+	defer s.sem.ReleaseN(cost)
+	if s.testHookForecast != nil {
+		s.testHookForecast()
+	}
 
 	start := time.Now()
 	set := s.active.Load()
-	// The batch already holds one admission slot; claim free slots for any
-	// extra fan-out workers so total concurrent prediction work across all
-	// requests stays bounded by -max-inflight. A saturated server degrades
-	// a batch to sequential scoring instead of oversubscribing.
-	workers := 1
-	for workers < len(req.Queries) && workers < runtime.GOMAXPROCS(0) && s.sem.TryAcquire() {
-		workers++
+	workers := cost
+	if n := runtime.GOMAXPROCS(0); workers > n {
+		workers = n
 	}
-	defer func() {
-		for ; workers > 1; workers-- {
-			s.sem.Release()
-		}
-	}()
 	results, _ := parallel.Map(workers, req.Queries, func(i int, q batchQuery) (map[string]any, error) {
 		body, herr := s.evaluate(set, q.normalize())
 		if herr != nil {

@@ -199,6 +199,75 @@ func TestForecastAdmissionControl(t *testing.T) {
 	}
 }
 
+// TestBatchWeightedAdmission: a /forecast/batch charges one -max-inflight
+// slot per query (capped at capacity), all-or-nothing, so the admission
+// bound tracks forecasts in flight rather than requests.
+func TestBatchWeightedAdmission(t *testing.T) {
+	srv, _ := testServer(t, 4)
+	batch := func(k int) string {
+		qs := make([]string, k)
+		for i := range qs {
+			qs[i] = `{"model":"Tree","t":30}`
+		}
+		return `{"queries":[` + strings.Join(qs, ",") + `]}`
+	}
+
+	// Idle server: a batch larger than the capacity still fits (cost caps
+	// at -max-inflight) — weighted admission must not make big batches
+	// unservable.
+	if code, body := post(t, srv, "/forecast/batch", batch(6)); code != http.StatusOK {
+		t.Fatalf("idle oversized batch = %d %v, want 200", code, body)
+	}
+
+	// With 2 of 4 slots held, a batch of 3 needs 3 free slots and must be
+	// rejected whole; a batch of 2 fits exactly.
+	srv.sem.Acquire()
+	srv.sem.Acquire()
+	code, body := post(t, srv, "/forecast/batch", batch(3))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("batch of 3 with 2 free slots = %d %v, want 503", code, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "needs 3 of 4 slots") {
+		t.Fatalf("503 body does not explain the charge: %v", body)
+	}
+	if code, body := post(t, srv, "/forecast/batch", batch(2)); code != http.StatusOK {
+		t.Fatalf("batch of 2 with 2 free slots = %d %v, want 200", code, body)
+	}
+	// The rejected and admitted batches must have released everything:
+	// both held slots are still ours and the other two are free again.
+	if !srv.sem.TryAcquireN(2) {
+		t.Fatal("batch admission leaked slots")
+	}
+	srv.sem.ReleaseN(4)
+
+	// All slots free again: the full-capacity batch is admitted.
+	if code, _ := post(t, srv, "/forecast/batch", batch(4)); code != http.StatusOK {
+		t.Fatalf("full-capacity batch after release = %d, want 200", code)
+	}
+}
+
+// TestBatchConcurrentAdmission: the batch cost is one atomic claim, so two
+// concurrent full-capacity batches on an idle server can never starve each
+// other into mutual 503s — every round, at least one must be admitted.
+func TestBatchConcurrentAdmission(t *testing.T) {
+	srv, _ := testServer(t, 2)
+	body := `{"queries":[{"model":"Tree","t":30},{"model":"Tree","t":30}]}`
+	for round := 0; round < 20; round++ {
+		codes := make(chan int, 2)
+		for g := 0; g < 2; g++ {
+			go func() {
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, httptest.NewRequest("POST", "/forecast/batch", strings.NewReader(body)))
+				codes <- rec.Code
+			}()
+		}
+		a, b := <-codes, <-codes
+		if a != http.StatusOK && b != http.StatusOK {
+			t.Fatalf("round %d: concurrent batches mutually rejected (%d, %d) with full capacity free", round, a, b)
+		}
+	}
+}
+
 func TestSetStaticRejectsDuplicates(t *testing.T) {
 	srv, p := testServer(t, 1)
 	dup := srv.active.Load().models[0].tr

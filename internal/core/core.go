@@ -21,6 +21,7 @@ import (
 	"repro/internal/forecast"
 	"repro/internal/impute"
 	"repro/internal/mathx"
+	"repro/internal/mltree"
 	"repro/internal/registry"
 	"repro/internal/score"
 	"repro/internal/simnet"
@@ -93,6 +94,9 @@ type Config struct {
 	// ModelCacheBytes bounds the shared trained-model cache
 	// (0 = forecast.DefaultModelCacheBytes, negative disables).
 	ModelCacheBytes int64
+	// SplitAlgo selects the tree-training split search (exact by default;
+	// see forecast.Context.SplitAlgo).
+	SplitAlgo mltree.SplitAlgo
 }
 
 // Pipeline is a prepared end-to-end hot-spot forecasting system.
@@ -163,6 +167,7 @@ func FromDataset(ds *simnet.Dataset, cfg Config) (*Pipeline, error) {
 	}
 	ctx.CacheBytes = cfg.CacheBytes
 	ctx.ModelCacheBytes = cfg.ModelCacheBytes
+	ctx.SplitAlgo = cfg.SplitAlgo
 	return &Pipeline{Dataset: sub, Scores: set, Ctx: ctx, Discarded: discarded}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/forecast"
+	"repro/internal/mltree"
 	"repro/internal/score"
 	"repro/internal/simnet"
 	"repro/internal/timegrid"
@@ -36,6 +37,9 @@ type Scale struct {
 	// CacheBytes bounds the shared feature-matrix cache
 	// (0 = forecast.DefaultCacheBytes, negative disables).
 	CacheBytes int64
+	// SplitAlgo selects the tree-training split search (exact by default;
+	// see forecast.Context.SplitAlgo).
+	SplitAlgo mltree.SplitAlgo
 }
 
 // TinyScale is for smoke tests and -short runs (seconds of CPU). The
@@ -137,6 +141,7 @@ func Prepare(s Scale) (*Env, error) {
 	ctx.TrainDays = s.TrainDays
 	ctx.ForestTrees = s.ForestTrees
 	ctx.CacheBytes = s.CacheBytes
+	ctx.SplitAlgo = s.SplitAlgo
 	// Experiment grids always hold many points, so the sweep pool is the
 	// parallelism lever; serialise each forest fit to keep the total
 	// goroutine count at Workers (and make Workers=1 truly sequential).

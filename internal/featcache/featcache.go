@@ -24,32 +24,54 @@ package featcache
 
 import (
 	"repro/internal/bytelru"
+	"repro/internal/mltree"
 )
 
 // Key identifies one distinct matrix build: the extractor name, the
 // exclusive end day of the feature window and the window length in days.
 // Matrices always cover every sector, so the sector axis is not part of
-// the key (subset builds bypass the cache).
+// the key (subset builds bypass the cache). Quantized training-matrix
+// entries (hist-mode fits) set Binned and Days: there End is the training
+// cutoff t-h and Days the number of stacked label days, because the
+// stacked matrix — unlike the per-day float blocks — depends on both.
 type Key struct {
 	// Extractor is the representation name (features.Extractor.Name).
 	Extractor string
-	// End is the exclusive end day of the feature window.
+	// End is the exclusive end day of the feature window (the training
+	// cutoff for Binned entries).
 	End int
 	// W is the window length in days.
 	W int
+	// Binned marks a quantized stacked training matrix (Matrix.Bin set,
+	// Data nil).
+	Binned bool
+	// Days is the number of stacked training label days (Binned entries
+	// only; zero for per-day float blocks).
+	Days int
 }
 
-// Matrix is an immutable row-major feature matrix handle. Holders must not
-// write through Data: the same backing array is shared by every grid point
-// (and every worker) that agrees on the Key.
+// Matrix is an immutable feature-matrix handle: a row-major float matrix
+// (Data), a quantized one (Bin), or both. Holders must not write through
+// either: the same backing arrays are shared by every grid point (and
+// every worker) that agrees on the Key.
 type Matrix struct {
-	Data  []float64 // len = Rows*Width
+	Data  []float64 // len = Rows*Width (nil for binned-only entries)
 	Rows  int
 	Width int
+	// Bin is the histogram-quantized form (internal/mltree.Binned), set on
+	// Binned-keyed entries so every tree, boosting round and model sharing
+	// one training build reuses a single quantization.
+	Bin *mltree.Binned
 }
 
 // Bytes is the memory the matrix payload occupies.
-func (m *Matrix) Bytes() int64 { return int64(len(m.Data)) * 8 }
+func (m *Matrix) Bytes() int64 {
+	total := int64(len(m.Data)) * 8
+	if m.Bin != nil {
+		total += m.Bin.Bytes()
+	}
+	return total
+}
 
 // Stats is a point-in-time cache counter snapshot.
 type Stats = bytelru.Stats

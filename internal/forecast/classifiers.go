@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/featcache"
 	"repro/internal/features"
 	"repro/internal/mltree"
 	"repro/internal/randx"
@@ -162,8 +163,8 @@ func (m *ClassifierModel) fitFingerprint(c *Context) (string, bool) {
 	if m.SectorSubset != nil {
 		return "", false
 	}
-	return fmt.Sprintf("%s|ex=%s|single=%t|unbal=%t|trees=%d|days=%d",
-		m.ModelName, m.Extractor.Name(), m.SingleTree, m.Unbalanced, c.ForestTrees, c.TrainDays), true
+	return fmt.Sprintf("%s|ex=%s|single=%t|unbal=%t|trees=%d|days=%d|algo=%s",
+		m.ModelName, m.Extractor.Name(), m.SingleTree, m.Unbalanced, c.ForestTrees, c.TrainDays, c.SplitAlgo), true
 }
 
 // Fit implements Model: train per Eq. 7 and capture the learner — plus the
@@ -195,14 +196,33 @@ func (m *ClassifierModel) Fit(c *Context, target Target, t, h, w int) (Trained, 
 		return &baselineArtifact{meta, kindFallback}, nil
 	}
 
+	// Resolve the split algorithm up front on the training-set shape: the
+	// hist path consumes the cached quantized matrix instead of the floats.
+	treeCfg := mltree.ForestTreeConfig()
+	if m.SingleTree {
+		treeCfg = mltree.TreeConfig()
+	}
+	treeCfg.Algo = c.SplitAlgo.Resolve(
+		mltree.SplitWork(treeCfg, len(labels), m.Extractor.Width(c.View, w)))
+
 	var x []float64
+	var bin *mltree.Binned
 	var width int
 	var err error
-	if allSectors {
+	switch {
+	case allSectors && treeCfg.Algo == mltree.SplitHist:
+		// One quantization per (extractor, cutoff, w) training build,
+		// shared by every tree, boosting round and model via the cache.
+		var mat *featcache.Matrix
+		mat, err = c.BinnedTrainingMatrix(m.Extractor, t, h, w)
+		if err == nil {
+			bin, width = mat.Bin, mat.Width
+		}
+	case allSectors:
 		x, width, err = trainingMatrix(c, m.Extractor, t, h, w)
-	} else {
+	default:
 		// Subset rows are bespoke; build them directly, bypassing the
-		// all-sector cache.
+		// all-sector cache (a hist fit quantizes them privately).
 		sectors, ends := trainingInstances(c, trainSectors, t, h)
 		x, width, err = features.BuildMatrix(c.View, m.Extractor, sectors, ends, w)
 	}
@@ -218,7 +238,12 @@ func (m *ClassifierModel) Fit(c *Context, target Target, t, h, w int) (Trained, 
 	seed := c.Seed ^ uint64(t)<<24 ^ uint64(h)<<12 ^ uint64(w)
 	if m.SingleTree {
 		rng := randx.DeriveIndexed(seed, 0x7e11, "tree-model", t)
-		tree, err := mltree.FitTree(x, len(labels), width, labels, weights, 2, mltree.TreeConfig(), rng)
+		var tree *mltree.Tree
+		if bin != nil {
+			tree, err = mltree.FitTreeBinned(bin, labels, weights, 2, treeCfg, rng)
+		} else {
+			tree, err = mltree.FitTree(x, len(labels), width, labels, weights, 2, treeCfg, rng)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("forecast: fitting tree: %w", err)
 		}
@@ -228,12 +253,17 @@ func (m *ClassifierModel) Fit(c *Context, target Target, t, h, w int) (Trained, 
 	} else {
 		cfg := mltree.ForestConfig{
 			NumTrees:  c.ForestTrees,
-			Tree:      mltree.ForestTreeConfig(),
+			Tree:      treeCfg,
 			Bootstrap: true,
 			Seed:      seed,
 			Workers:   c.FitWorkers,
 		}
-		forest, err := mltree.FitForest(x, len(labels), width, labels, weights, 2, cfg)
+		var forest *mltree.Forest
+		if bin != nil {
+			forest, err = mltree.FitForestBinned(bin, labels, weights, 2, cfg)
+		} else {
+			forest, err = mltree.FitForest(x, len(labels), width, labels, weights, 2, cfg)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("forecast: fitting forest: %w", err)
 		}

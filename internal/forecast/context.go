@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/featcache"
 	"repro/internal/features"
+	"repro/internal/mltree"
 	"repro/internal/modelcache"
 	"repro/internal/score"
 	"repro/internal/tensor"
@@ -82,6 +83,17 @@ type Context struct {
 	// refit; disable it only to measure raw fit cost (the perf benches do).
 	// Reconfigure only between sweeps, never while one is running.
 	ModelCacheBytes int64
+	// SplitAlgo selects the tree-training split search for the classifier
+	// and GBT models: SplitExact (the default) is the sort-based CART
+	// search, bit-identical to every pre-knob record; SplitHist quantizes
+	// training matrices into <=256 bins (cached beside the float matrices,
+	// one quantization per training build) and scans O(bins) boundaries
+	// per candidate feature; SplitAuto resolves per fit, picking hist when
+	// the root-split work clears the engine's threshold. Hist fits are
+	// deterministic at any worker count but not bit-identical to exact
+	// ones (thresholds are quantized); accuracy parity is enforced by the
+	// tiny-scale sweep tests.
+	SplitAlgo mltree.SplitAlgo
 
 	cacheMu    sync.Mutex
 	cache      *featcache.Cache
@@ -277,6 +289,39 @@ func (c *Context) FeatureMatrix(ex features.Extractor, end, w int) (*featcache.M
 		return build()
 	}
 	return cache.GetOrBuild(featcache.Key{Extractor: ex.Name(), End: end, W: w}, build)
+}
+
+// BinnedTrainingMatrix returns the quantized Eq. 7 training matrix for a
+// fit with cutoff t-h: the TrainDays stacked all-sector blocks, binned
+// once with mltree.Bin. The handle is cached under (extractor, cutoff, w,
+// TrainDays, binned) when the feature cache is enabled, so every tree of a
+// forest, every boosting round, every model sharing the extractor, and
+// every grid point on the same (t-h) anti-diagonal reuses one
+// quantization. Cut points use uniform-weight quantiles by design: the
+// models sharing a handle carry different sample weights (balanced vs.
+// unbalanced, per-tree bootstrap draws, per-round boosting subsamples),
+// so the shared quantization cannot follow any one of them — direct
+// mltree fits, which own their weights, bin with them instead. Binning is
+// deterministic, so a cached handle is bit-identical to a fresh build.
+func (c *Context) BinnedTrainingMatrix(ex features.Extractor, t, h, w int) (*featcache.Matrix, error) {
+	build := func() (*featcache.Matrix, error) {
+		x, width, err := trainingMatrix(c, ex, t, h, w)
+		if err != nil {
+			return nil, err
+		}
+		rows := c.TrainDays * c.Sectors()
+		bn, err := mltree.BinWorkers(x, rows, width, nil, mltree.DefaultMaxBins, c.FitWorkers)
+		if err != nil {
+			return nil, err
+		}
+		return &featcache.Matrix{Rows: rows, Width: width, Bin: bn}, nil
+	}
+	cache := c.FeatureCache()
+	if cache == nil {
+		return build()
+	}
+	key := featcache.Key{Extractor: ex.Name(), End: t - h, W: w, Binned: true, Days: c.TrainDays}
+	return cache.GetOrBuild(key, build)
 }
 
 // Model is a hot-spot forecaster. Given the data available at day t it

@@ -37,9 +37,9 @@ func (m *GBTModel) featureExtractor() features.Extractor { return m.Extractor }
 // the context and task, overwriting it.
 func (m *GBTModel) fitFingerprint(c *Context) (string, bool) {
 	cfg := m.Config
-	return fmt.Sprintf("GBT|ex=%s|r=%d|lr=%g|depth=%d|leaf=%d|sub=%g|days=%d",
+	return fmt.Sprintf("GBT|ex=%s|r=%d|lr=%g|depth=%d|leaf=%d|sub=%g|days=%d|algo=%s",
 		m.Extractor.Name(), cfg.Rounds, cfg.Shrinkage, cfg.MaxDepth, cfg.MinSamplesLeaf,
-		cfg.SubsampleFraction, c.TrainDays), true
+		cfg.SubsampleFraction, c.TrainDays, c.SplitAlgo), true
 }
 
 // Fit implements Model with the same Eq. 7 protocol as the paper's
@@ -60,16 +60,35 @@ func (m *GBTModel) Fit(c *Context, target Target, t, h, w int) (Trained, error) 
 	if positives == 0 || positives == len(labels) {
 		return &baselineArtifact{meta, kindFallback}, nil
 	}
-	x, width, err := trainingMatrix(c, m.Extractor, t, h, w)
-	if err != nil {
-		return nil, fmt.Errorf("forecast: building GBT training matrix: %w", err)
-	}
 	cfg := m.Config
 	cfg.Seed = c.Seed ^ uint64(t)<<24 ^ uint64(h)<<12 ^ uint64(w) ^ 0xb005
+	cfg.Algo = c.SplitAlgo.Resolve(mltree.SplitWork(
+		mltree.Config{Rule: mltree.SqrtFeatures}, len(labels), m.Extractor.Width(c.View, w)))
 	weights := mltree.BalancedWeights(labels, 2)
-	g, err := mltree.FitGBT(x, len(labels), width, labels, weights, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("forecast: fitting GBT: %w", err)
+	var g *mltree.GBT
+	var width int
+	if cfg.Algo == mltree.SplitHist {
+		// One quantization per training build serves all boosting rounds
+		// (and any other model sharing it) via the cache.
+		mat, err := c.BinnedTrainingMatrix(m.Extractor, t, h, w)
+		if err != nil {
+			return nil, fmt.Errorf("forecast: building GBT training matrix: %w", err)
+		}
+		width = mat.Width
+		g, err = mltree.FitGBTBinned(mat.Bin, labels, weights, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("forecast: fitting GBT: %w", err)
+		}
+	} else {
+		x, w2, err := trainingMatrix(c, m.Extractor, t, h, w)
+		if err != nil {
+			return nil, fmt.Errorf("forecast: building GBT training matrix: %w", err)
+		}
+		width = w2
+		g, err = mltree.FitGBT(x, len(labels), width, labels, weights, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("forecast: fitting GBT: %w", err)
+		}
 	}
 	return &classifierArtifact{artifactMeta: meta, kind: kindGBT, extractor: m.Extractor, width: width, gbt: g}, nil
 }

@@ -35,6 +35,9 @@ type GBTConfig struct {
 	SubsampleFraction float64
 	// Seed makes training deterministic.
 	Seed uint64
+	// Algo selects the split search for every stage (see Config.Algo). The
+	// hist path quantizes the matrix once and reuses it across all rounds.
+	Algo SplitAlgo
 }
 
 // DefaultGBTConfig returns sensible boosting settings for the forecasting
@@ -51,6 +54,16 @@ func DefaultGBTConfig() GBTConfig {
 func FitGBT(x []float64, n, f int, y []int, w []float64, cfg GBTConfig) (*GBT, error) {
 	if n <= 0 || f <= 0 || len(x) != n*f {
 		return nil, fmt.Errorf("mltree: bad shapes: %d values for %dx%d", len(x), n, f)
+	}
+	if cfg.Algo.Resolve(splitWork(Config{Rule: SqrtFeatures}, n, f)) == SplitHist {
+		// Quantiles follow the caller's base weights; the per-round
+		// subsample reweighting happens after binning and shares the one
+		// quantization across all rounds.
+		bn, err := Bin(x, n, f, w, DefaultMaxBins)
+		if err != nil {
+			return nil, err
+		}
+		return FitGBTBinned(bn, y, w, cfg)
 	}
 	if len(y) != n {
 		return nil, fmt.Errorf("mltree: %d labels for %d instances", len(y), n)

@@ -34,6 +34,8 @@ type RegressionConfig struct {
 	// Rule and Fraction select the per-split feature subset (as in Config).
 	Rule     FeatureRule
 	Fraction float64
+	// Algo selects the split search (see Config.Algo).
+	Algo SplitAlgo
 }
 
 // FitRegressionTree fits targets (any real values) with optional weights.
@@ -42,14 +44,19 @@ func FitRegressionTree(x []float64, n, f int, targets, w []float64, cfg Regressi
 	if n <= 0 || f <= 0 || len(x) != n*f {
 		return nil, fmt.Errorf("mltree: bad shapes: %d values for %dx%d", len(x), n, f)
 	}
+	work := splitWork(Config{Rule: cfg.Rule, Fraction: cfg.Fraction}, n, f)
+	if cfg.Algo.Resolve(work) == SplitHist {
+		bn, err := Bin(x, n, f, w, DefaultMaxBins)
+		if err != nil {
+			return nil, err
+		}
+		return FitRegressionTreeBinned(bn, targets, w, cfg, rng)
+	}
 	if len(targets) != n {
 		return nil, fmt.Errorf("mltree: %d targets for %d instances", len(targets), n)
 	}
 	if w == nil {
-		w = make([]float64, n)
-		for i := range w {
-			w[i] = 1
-		}
+		w = uniformWeights(n)
 	} else if len(w) != n {
 		return nil, fmt.Errorf("mltree: %d weights for %d instances", len(w), n)
 	}
@@ -76,6 +83,9 @@ type rbuilder struct {
 	tree  *RegressionTree
 	order []int32
 	vals  []float64
+	// leaves counts leaves already created, so leaf-ID assignment is O(1)
+	// per leaf instead of rescanning every node.
+	leaves int32
 }
 
 func (b *rbuilder) grow(idx []int32, depth int) int32 {
@@ -89,12 +99,8 @@ func (b *rbuilder) grow(idx []int32, depth int) int32 {
 		mean = swy / sw
 	}
 	leaf := func() int32 {
-		id := int32(0)
-		for _, nd := range b.tree.nodes {
-			if nd.feature < 0 {
-				id++
-			}
-		}
+		id := b.leaves
+		b.leaves++
 		b.tree.nodes = append(b.tree.nodes, rnode{feature: -1, value: mean, leafID: id})
 		return int32(len(b.tree.nodes) - 1)
 	}

@@ -45,6 +45,10 @@ type Config struct {
 	MaxDepth int
 	// MinImpurityDecrease skips splits with negligible improvement.
 	MinImpurityDecrease float64
+	// Algo selects the split search: SplitExact (default, sort-based,
+	// bit-compatible), SplitHist (histogram-binned O(bins) scan), or
+	// SplitAuto (hist above histThreshold of root-split work).
+	Algo SplitAlgo
 }
 
 // TreeConfig returns the paper's single-tree configuration.
@@ -93,9 +97,17 @@ func BalancedWeights(y []int, numClasses int) []float64 {
 
 // FitTree grows a CART classifier on X (n x f, row-major), labels y in
 // [0, numClasses) and optional sample weights w (nil = uniform). X must not
-// contain NaN. Column presorting is enabled automatically when the split
-// search is large enough to profit from it.
+// contain NaN. cfg.Algo selects the split search; on the exact path, column
+// presorting is enabled automatically when the search is large enough to
+// profit from it.
 func FitTree(x []float64, n, f int, y []int, w []float64, numClasses int, cfg Config, rng *randx.RNG) (*Tree, error) {
+	if cfg.Algo.Resolve(splitWork(cfg, n, f)) == SplitHist {
+		bn, err := Bin(x, n, f, w, DefaultMaxBins)
+		if err != nil {
+			return nil, err
+		}
+		return FitTreeBinned(bn, y, w, numClasses, cfg, rng)
+	}
 	var pre []int32
 	if splitWork(cfg, n, f) >= presortThreshold {
 		pre = Presort(x, n, f)
@@ -125,10 +137,7 @@ func fitTreePresorted(x []float64, n, f int, y []int, w []float64, numClasses in
 		}
 	}
 	if w == nil {
-		w = make([]float64, n)
-		for i := range w {
-			w[i] = 1
-		}
+		w = uniformWeights(n)
 	} else if len(w) != n {
 		return nil, fmt.Errorf("mltree: %d weights for %d instances", len(w), n)
 	}
@@ -151,6 +160,8 @@ func fitTreePresorted(x []float64, n, f int, y []int, w []float64, numClasses in
 		totalW:    totalW,
 		tree:      t,
 		presorted: pre,
+		classW:    make([]float64, numClasses),
+		leftW:     make([]float64, numClasses),
 	}
 	if pre != nil {
 		b.inNode = make([]bool, n)
@@ -193,9 +204,43 @@ type builder struct {
 	// inNode marks the current node's members during a presorted scan.
 	inNode []bool
 
-	// scratch reused across nodes
-	order []int32
-	vals  []float64
+	// scratch reused across nodes; classW and leftW hold per-node class
+	// weights (a node never touches them after recursing into children).
+	order  []int32
+	vals   []float64
+	classW []float64
+	leftW  []float64
+}
+
+// uniformWeights returns the shared all-ones weight vector for the w == nil
+// path, allocated once per fit (and hoisted to once per forest).
+func uniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// bootstrapWeights draws one tree's bootstrap resample as count-weights:
+// drawing each instance a multinomial number of times and training on the
+// resample is equivalent to scaling its sample weight by the draw count.
+// This avoids copying the (large) feature matrix per tree and is shared by
+// the exact and histogram forests — the RNG consumption is part of the
+// forests' bit-compatibility contract, so change it nowhere or everywhere.
+func bootstrapWeights(rng *randx.RNG, n int, w []float64) []float64 {
+	counts := make([]float64, n)
+	for d := 0; d < n; d++ {
+		counts[rng.IntN(n)]++
+	}
+	if w == nil {
+		return counts
+	}
+	wb := make([]float64, n)
+	for i := range wb {
+		wb[i] = w[i] * counts[i]
+	}
+	return wb
 }
 
 // presortThreshold is the work level (candidate features x instances) above
@@ -221,7 +266,10 @@ func Presort(x []float64, n, f int) []int32 {
 // grow recursively builds the subtree over instance indices idx and returns
 // the node index.
 func (b *builder) grow(idx []int32, depth int) int32 {
-	classW := make([]float64, b.numClasses)
+	classW := b.classW
+	for c := range classW {
+		classW[c] = 0
+	}
 	nodeW := 0.0
 	for _, i := range idx {
 		classW[b.y[i]] += b.w[i]
@@ -308,7 +356,7 @@ func (b *builder) bestSplit(idx []int32, classW []float64, nodeW, impurity float
 	}
 
 	bestFeat, bestThr, bestDec := -1, 0.0, 0.0
-	leftW := make([]float64, b.numClasses)
+	leftW := b.leftW
 
 	for _, feat := range features {
 		if usePresort {
@@ -572,15 +620,31 @@ type Forest struct {
 }
 
 // FitForest grows cfg.NumTrees trees in parallel on bootstrap resamples.
+// cfg.Tree.Algo selects the split search; the hist path quantizes X once
+// and shares the binned matrix across the whole ensemble.
 func FitForest(x []float64, n, f int, y []int, w []float64, numClasses int, cfg ForestConfig) (*Forest, error) {
 	if cfg.NumTrees < 1 {
 		return nil, fmt.Errorf("mltree: forest needs at least 1 tree")
+	}
+	if cfg.Tree.Algo.Resolve(splitWork(cfg.Tree, n, f)) == SplitHist {
+		// Quantiles follow the caller's base weights; the per-tree bootstrap
+		// reweighting happens after binning and shares the one quantization.
+		bn, err := BinWorkers(x, n, f, w, DefaultMaxBins, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return FitForestBinned(bn, y, w, numClasses, cfg)
 	}
 	// Presort once for the whole ensemble: bootstrap-by-weights never
 	// reorders X, so the per-feature argsort is shared by every tree.
 	var pre []int32
 	if splitWork(cfg.Tree, n, f) >= presortThreshold {
 		pre = Presort(x, n, f)
+	}
+	// Uniform weights are read-only: one shared allocation serves every
+	// tree instead of one per tree inside the fit.
+	if w == nil && !cfg.Bootstrap {
+		w = uniformWeights(n)
 	}
 	// Each tree's RNG is keyed by its index, so the forest is identical at
 	// any worker count.
@@ -589,23 +653,7 @@ func FitForest(x []float64, n, f int, y []int, w []float64, numClasses int, cfg 
 		rng := randx.DeriveIndexed(cfg.Seed, 0x7ee5, "tree", ti)
 		wi := w
 		if cfg.Bootstrap {
-			// Bootstrap via count-weights: drawing each instance a
-			// multinomial number of times and training on the resample is
-			// equivalent to scaling its sample weight by the draw count.
-			// This avoids copying the (large) feature matrix per tree.
-			counts := make([]float64, n)
-			for d := 0; d < n; d++ {
-				counts[rng.IntN(n)]++
-			}
-			wb := make([]float64, n)
-			for i := range wb {
-				if w != nil {
-					wb[i] = w[i] * counts[i]
-				} else {
-					wb[i] = counts[i]
-				}
-			}
-			wi = wb
+			wi = bootstrapWeights(rng, n, w)
 		}
 		var err error
 		trees[ti], err = fitTreePresorted(x, n, f, y, wi, numClasses, cfg.Tree, rng, pre)

@@ -193,6 +193,10 @@ func Stream[T, R any](workers int, items []T, fn func(i int, item T) (R, error),
 // because work arrives from outside rather than from a slice.
 type Semaphore struct {
 	slots chan struct{}
+	// bulk serializes TryAcquireN claimants: two concurrent bulk claims
+	// grabbing slots incrementally could each hold a partial set and
+	// mutually fail even though one of them could have been admitted.
+	bulk sync.Mutex
 }
 
 // NewSemaphore returns a semaphore admitting up to n concurrent holders
@@ -220,6 +224,40 @@ func (s *Semaphore) Acquire() { s.slots <- struct{}{} }
 
 // Release frees a slot claimed by Acquire or a successful TryAcquire.
 func (s *Semaphore) Release() { <-s.slots }
+
+// Cap returns the semaphore's slot capacity.
+func (s *Semaphore) Cap() int { return cap(s.slots) }
+
+// TryAcquireN claims n slots without blocking, all or nothing: on failure
+// no slots remain held. Used for weighted admission, where one request
+// charges a cost proportional to the work it carries (a batch of k
+// forecasts costs k slots, not 1). Bulk claims are serialized against each
+// other so partial grabs cannot livelock two claimants into mutual 503s;
+// single TryAcquire calls interleave freely (a lost race there just means
+// the capacity genuinely went elsewhere). n above the capacity can never
+// succeed; n <= 0 trivially succeeds. Callers that got true must
+// ReleaseN(n).
+func (s *Semaphore) TryAcquireN(n int) bool {
+	if n <= 0 {
+		return true
+	}
+	s.bulk.Lock()
+	defer s.bulk.Unlock()
+	for got := 0; got < n; got++ {
+		if !s.TryAcquire() {
+			s.ReleaseN(got)
+			return false
+		}
+	}
+	return true
+}
+
+// ReleaseN frees n slots claimed by a successful TryAcquireN.
+func (s *Semaphore) ReleaseN(n int) {
+	for ; n > 0; n-- {
+		s.Release()
+	}
+}
 
 // run is the pool core: it executes body(i) for i in [0, n) on
 // Workers(workers, n) goroutines. Indices are handed out through a channel

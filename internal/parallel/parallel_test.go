@@ -289,6 +289,41 @@ func TestSemaphoreBoundsConcurrency(t *testing.T) {
 	}
 }
 
+// TestSemaphoreTryAcquireN: weighted admission is all-or-nothing — a
+// refused bulk claim leaves every slot free, a granted one holds exactly n.
+func TestSemaphoreTryAcquireN(t *testing.T) {
+	sem := NewSemaphore(4)
+	if sem.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", sem.Cap())
+	}
+	if !sem.TryAcquireN(3) {
+		t.Fatal("3 of 4 refused on an idle semaphore")
+	}
+	if sem.TryAcquireN(2) {
+		t.Fatal("2 slots granted with only 1 free")
+	}
+	// The refused claim must not have eaten the remaining slot.
+	if !sem.TryAcquire() {
+		t.Fatal("failed TryAcquireN leaked the last free slot")
+	}
+	sem.Release()
+	sem.ReleaseN(3)
+	if !sem.TryAcquireN(4) {
+		t.Fatal("full capacity refused after releasing everything")
+	}
+	sem.ReleaseN(4)
+	if !sem.TryAcquireN(0) {
+		t.Fatal("zero-cost claim refused")
+	}
+	if sem.TryAcquireN(5) {
+		t.Fatal("claim above capacity granted")
+	}
+	if !sem.TryAcquireN(4) {
+		t.Fatal("failed above-capacity claim leaked slots")
+	}
+	sem.ReleaseN(4)
+}
+
 func TestNewSemaphoreClampsToOne(t *testing.T) {
 	sem := NewSemaphore(0)
 	if !sem.TryAcquire() {
