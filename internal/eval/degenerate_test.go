@@ -1,0 +1,135 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+// Degenerate-label days that adversarial scenario packs produce: an outage
+// wave can mark every sector hot, a quiet day can mark none, and a missing
+// storm can wipe most scores and labels. The measures must stay
+// well-defined (or explicitly NaN/nil) on all of them.
+
+// TestAllHotDay: when every sector is hot, any ranking is perfect.
+func TestAllHotDay(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.3}
+	labels := []float64{1, 1, 1, 1}
+	if ap := AveragePrecision(scores, labels); ap != 1 {
+		t.Fatalf("all-hot AP = %v, want 1", ap)
+	}
+	pr := PRCurve(scores, labels)
+	if len(pr) != len(labels) {
+		t.Fatalf("all-hot PR has %d points, want %d", len(pr), len(labels))
+	}
+	for k, p := range pr {
+		if p.Precision != 1 {
+			t.Fatalf("all-hot PR point %d precision = %v, want 1", k, p.Precision)
+		}
+		if want := float64(k+1) / float64(len(labels)); p.Recall != want {
+			t.Fatalf("all-hot PR point %d recall = %v, want %v", k, p.Recall, want)
+		}
+	}
+	if prev := Prevalence(labels); prev != 1 {
+		t.Fatalf("all-hot prevalence = %v, want 1", prev)
+	}
+	// A model cannot beat random when everything is relevant: lift pins to 1.
+	if l := Lift(AveragePrecision(scores, labels), Prevalence(labels)); l != 1 {
+		t.Fatalf("all-hot lift = %v, want 1", l)
+	}
+}
+
+// TestNoneHotDay: a day with zero hot spots cannot be scored — AP is NaN,
+// the PR curve is nil, and the lift chain propagates NaN instead of
+// panicking or inventing a number.
+func TestNoneHotDay(t *testing.T) {
+	scores := []float64{0.4, 0.2, 0.9}
+	labels := []float64{0, 0, 0}
+	ap := AveragePrecision(scores, labels)
+	if !math.IsNaN(ap) {
+		t.Fatalf("none-hot AP = %v, want NaN", ap)
+	}
+	if PRCurve(scores, labels) != nil {
+		t.Fatal("none-hot PR curve should be nil")
+	}
+	prev := Prevalence(labels)
+	if prev != 0 {
+		t.Fatalf("none-hot prevalence = %v, want 0", prev)
+	}
+	if !math.IsNaN(Lift(ap, prev)) {
+		t.Fatal("none-hot lift should be NaN")
+	}
+}
+
+// TestMostlyMissingScores: a missing-data storm leaves most sectors with
+// NaN scores. NaN scores must rank last deterministically, so the AP of the
+// survivors is computable and the positives buried in the missing block pay
+// full rank penalty.
+func TestMostlyMissingScores(t *testing.T) {
+	nan := math.NaN()
+	// Two observable sectors (one hot, ranked first) and four missing ones,
+	// one of which is hot. NaN ties break by index, so the missing hot
+	// sector (index 3) lands at rank 4 of the NaN block start 3:
+	// order = [1, 0, 2, 3, 4, 5] -> positives at ranks 1 and 4.
+	scores := []float64{0.2, 0.8, nan, nan, nan, nan}
+	labels := []float64{0, 1, 0, 1, 0, 0}
+	ap := AveragePrecision(scores, labels)
+	want := (1.0/1 + 2.0/4) / 2
+	if math.Abs(ap-want) > 1e-12 {
+		t.Fatalf("mostly-missing AP = %v, want %v", ap, want)
+	}
+	pr := PRCurve(scores, labels)
+	if len(pr) != 2 {
+		t.Fatalf("mostly-missing PR has %d points, want 2", len(pr))
+	}
+	if pr[1].Recall != 1 || pr[1].Precision != 0.5 {
+		t.Fatalf("mostly-missing PR end = %+v, want recall 1 precision 0.5", pr[1])
+	}
+	if !math.IsNaN(pr[1].Threshold) {
+		t.Fatalf("mostly-missing PR end threshold = %v, want NaN (missing score)", pr[1].Threshold)
+	}
+}
+
+// TestAllScoresMissing: when every score is NaN the ranking degrades to
+// index order, which still yields a deterministic, well-defined AP.
+func TestAllScoresMissing(t *testing.T) {
+	nan := math.NaN()
+	scores := []float64{nan, nan, nan, nan}
+	labels := []float64{0, 1, 0, 1}
+	// Index order -> positives at ranks 2 and 4: AP = (1/2 + 2/4)/2 = 1/2.
+	if ap := AveragePrecision(scores, labels); ap != 0.5 {
+		t.Fatalf("all-missing AP = %v, want 0.5", ap)
+	}
+	got := AveragePrecision(scores, labels)
+	for r := 0; r < 10; r++ {
+		if again := AveragePrecision(scores, labels); again != got {
+			t.Fatalf("all-missing AP not deterministic: %v vs %v", got, again)
+		}
+	}
+}
+
+// TestMissingLabelsIgnored: NaN labels (sectors whose ground truth was
+// wiped) count as non-relevant everywhere — they never contribute to AP
+// numerators, PR totals, or prevalence positives.
+func TestMissingLabelsIgnored(t *testing.T) {
+	nan := math.NaN()
+	scores := []float64{0.9, 0.8, 0.7, 0.6}
+	labels := []float64{nan, 1, nan, 0}
+	// Only index 1 is relevant, at rank 2 -> AP = 1/2.
+	if ap := AveragePrecision(scores, labels); ap != 0.5 {
+		t.Fatalf("AP with NaN labels = %v, want 0.5", ap)
+	}
+	pr := PRCurve(scores, labels)
+	if len(pr) != 1 || pr[0].Recall != 1 || pr[0].Precision != 0.5 {
+		t.Fatalf("PR with NaN labels = %+v, want one point (1, 0.5)", pr)
+	}
+	if prev := Prevalence(labels); prev != 0.25 {
+		t.Fatalf("prevalence with NaN labels = %v, want 0.25", prev)
+	}
+	allNaN := []float64{nan, nan}
+	if !math.IsNaN(AveragePrecision(scores[:2], allNaN)) {
+		t.Fatal("AP with only NaN labels should be NaN")
+	}
+	if PRCurve(scores[:2], allNaN) != nil {
+		t.Fatal("PR with only NaN labels should be nil")
+	}
+}

@@ -214,3 +214,69 @@ func TestWarmIgnoresFetchErrors(t *testing.T) {
 		t.Fatalf("warm stopped on fetch error: %d of %d", n, len(plan.Builds))
 	}
 }
+
+func TestCompileBinnedDemand(t *testing.T) {
+	// Two extractors; only "percentiles" is consumed in hist form, at w=7.
+	plan := Compile(Grid{
+		Ts: []int{10, 11}, Hs: []int{1, 2}, Ws: []int{3, 7},
+		TrainDays:  2,
+		Extractors: []string{"raw", "percentiles"},
+		Binned:     map[string][]int{"percentiles": {7}},
+	})
+	var binned []PlanBuild
+	for _, b := range plan.Builds {
+		if b.Key.Binned {
+			binned = append(binned, b)
+		}
+	}
+	// Cutoffs t-h: {10,11}-{1,2} = {8, 9, 10}; 9 is shared by (10,1) and
+	// (11,2), so 3 distinct builds carrying 4 grid-point uses.
+	if len(binned) != 3 {
+		t.Fatalf("binned builds = %d, want 3: %+v", len(binned), binned)
+	}
+	uses := 0
+	cutoffs := map[int]bool{}
+	for _, b := range binned {
+		if b.Key.Extractor != "percentiles" || b.Key.W != 7 || b.Key.Days != 2 {
+			t.Fatalf("bad binned key: %+v", b.Key)
+		}
+		uses += b.Uses
+		cutoffs[b.Key.End] = true
+	}
+	if uses != 4 {
+		t.Fatalf("binned uses = %d, want 4", uses)
+	}
+	for _, want := range []int{8, 9, 10} {
+		if !cutoffs[want] {
+			t.Fatalf("missing binned cutoff %d (have %v)", want, cutoffs)
+		}
+	}
+	// The global order must stay demand-major with binned builds mixed in.
+	for i := 1; i < len(plan.Builds); i++ {
+		if plan.Builds[i].Uses > plan.Builds[i-1].Uses {
+			t.Fatalf("builds not in descending demand order: %+v", plan.Builds)
+		}
+	}
+}
+
+func TestCompileBinnedDeterministic(t *testing.T) {
+	grid := Grid{
+		Ts: []int{10, 11, 12}, Hs: []int{1, 2}, Ws: []int{3, 7},
+		TrainDays:  2,
+		Extractors: []string{"raw", "percentiles"},
+		Binned:     map[string][]int{"percentiles": {3, 7}, "raw": {7}},
+	}
+	want := Compile(grid)
+	for r := 0; r < 10; r++ {
+		got := Compile(grid)
+		if len(got.Builds) != len(want.Builds) {
+			t.Fatalf("build count varies: %d vs %d", len(got.Builds), len(want.Builds))
+		}
+		for i := range got.Builds {
+			if got.Builds[i] != want.Builds[i] {
+				t.Fatalf("build %d varies across compiles: %+v vs %+v",
+					i, got.Builds[i], want.Builds[i])
+			}
+		}
+	}
+}

@@ -17,6 +17,12 @@ type Grid struct {
 	TrainDays int
 	// Extractors are the representation names participating in the sweep.
 	Extractors []string
+	// Binned lists, per extractor name, the window lengths whose stacked
+	// training matrices the sweep will consume in quantized (hist) form.
+	// Each (t, h) grid point then demands one Binned build at cutoff t-h —
+	// the (t, h) anti-diagonals collapse exactly as the float blocks do.
+	// Extractors appearing here must also appear in Extractors.
+	Binned map[string][]int
 }
 
 // PlanBuild is one distinct matrix build plus its demand: how many grid
@@ -81,12 +87,56 @@ func Compile(g Grid) *Plan {
 				Uses: uses[p],
 			})
 		}
+		plan.Builds = append(plan.Builds, compileBinned(g, ex, trainDays)...)
 	}
 	// Across extractors, keep the global order demand-major too.
 	sort.SliceStable(plan.Builds, func(a, b int) bool {
 		return plan.Builds[a].Uses > plan.Builds[b].Uses
 	})
 	return plan
+}
+
+// compileBinned enumerates one extractor's quantized training builds: one
+// per distinct (cutoff t-h, w) over the windows the sweep consumes in hist
+// form. Iteration follows the caller-supplied Extractors order and sorted
+// (w, cutoff) within, so the plan stays deterministic regardless of the
+// Binned map's iteration order.
+func compileBinned(g Grid, ex string, trainDays int) []PlanBuild {
+	ws := g.Binned[ex]
+	if len(ws) == 0 {
+		return nil
+	}
+	type cutW struct{ cutoff, w int }
+	uses := map[cutW]int{}
+	for _, w := range ws {
+		for _, t := range g.Ts {
+			for _, h := range g.Hs {
+				uses[cutW{t - h, w}]++
+			}
+		}
+	}
+	var pairs []cutW
+	for p := range uses {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		pa, pb := pairs[a], pairs[b]
+		if uses[pa] != uses[pb] {
+			return uses[pa] > uses[pb]
+		}
+		if pa.w != pb.w {
+			return pa.w < pb.w
+		}
+		return pa.cutoff < pb.cutoff
+	})
+	builds := make([]PlanBuild, 0, len(pairs))
+	for _, p := range pairs {
+		builds = append(builds, PlanBuild{
+			Key:  Key{Extractor: ex, End: p.cutoff, W: p.w, Binned: true, Days: trainDays},
+			Uses: uses[p],
+		})
+	}
+	return builds
 }
 
 // Warm executes the plan's builds through the shared worker pool, hottest

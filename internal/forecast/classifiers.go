@@ -107,42 +107,43 @@ func trainingLabels(c *Context, y *tensor.Matrix, trainSectors []int, t int) (la
 }
 
 // trainingInstances assembles the Eq. 7 training rows — TrainDays blocks,
-// day-major then sector, feature windows ending h days before each label
-// day — the one place the row-ordering convention lives (trainingLabels
-// and the cached block order in trainingMatrix must match it).
-func trainingInstances(c *Context, trainSectors []int, t, h int) (sectors, ends []int) {
+// day-major then sector, feature windows ending at cutoff-d where cutoff is
+// t-h (h days before each label day) — the one place the row-ordering
+// convention lives (trainingLabels and the cached block order in
+// trainingMatrixAt must match it).
+func trainingInstances(c *Context, trainSectors []int, cutoff int) (sectors, ends []int) {
 	sectors = make([]int, 0, c.TrainDays*len(trainSectors))
 	ends = make([]int, 0, c.TrainDays*len(trainSectors))
 	for d := 0; d < c.TrainDays; d++ {
 		for _, i := range trainSectors {
 			sectors = append(sectors, i)
-			ends = append(ends, t-d-h)
+			ends = append(ends, cutoff-d)
 		}
 	}
 	return sectors, ends
 }
 
-// trainingMatrix builds the Eq. 7 training matrix for all sectors: one
-// all-sector block per training day d, at end day t-h-d, copied into a
-// contiguous matrix. Each block is a shared immutable cache handle — the
-// same bytes every grid point on the (t-h) anti-diagonal consumes — so
-// only the copy is per-point work. With the cache disabled it extracts
-// straight into one slab (the pre-cache path) instead of paying per-day
-// temporaries plus a copy.
-func trainingMatrix(c *Context, ex features.Extractor, t, h, w int) ([]float64, int, error) {
+// trainingMatrixAt builds the Eq. 7 training matrix for all sectors at a
+// training cutoff t-h: one all-sector block per training day d, at end day
+// cutoff-d, copied into a contiguous matrix. Each block is a shared
+// immutable cache handle — the same bytes every grid point on the cutoff
+// anti-diagonal consumes — so only the copy is per-point work. With the
+// cache disabled it extracts straight into one slab (the pre-cache path)
+// instead of paying per-day temporaries plus a copy.
+func trainingMatrixAt(c *Context, ex features.Extractor, cutoff, w int) ([]float64, int, error) {
 	if c.FeatureCache() == nil {
 		n := c.Sectors()
 		all := make([]int, n)
 		for i := range all {
 			all[i] = i
 		}
-		sectors, ends := trainingInstances(c, all, t, h)
+		sectors, ends := trainingInstances(c, all, cutoff)
 		return features.BuildMatrix(c.View, ex, sectors, ends, w)
 	}
 	var x []float64
 	width := 0
 	for d := 0; d < c.TrainDays; d++ {
-		mat, err := c.FeatureMatrix(ex, t-d-h, w)
+		mat, err := c.FeatureMatrix(ex, cutoff-d, w)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -219,11 +220,11 @@ func (m *ClassifierModel) Fit(c *Context, target Target, t, h, w int) (Trained, 
 			bin, width = mat.Bin, mat.Width
 		}
 	case allSectors:
-		x, width, err = trainingMatrix(c, m.Extractor, t, h, w)
+		x, width, err = trainingMatrixAt(c, m.Extractor, t-h, w)
 	default:
 		// Subset rows are bespoke; build them directly, bypassing the
 		// all-sector cache (a hist fit quantizes them privately).
-		sectors, ends := trainingInstances(c, trainSectors, t, h)
+		sectors, ends := trainingInstances(c, trainSectors, t-h)
 		x, width, err = features.BuildMatrix(c.View, m.Extractor, sectors, ends, w)
 	}
 	if err != nil {

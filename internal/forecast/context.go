@@ -304,8 +304,16 @@ func (c *Context) FeatureMatrix(ex features.Extractor, end, w int) (*featcache.M
 // mltree fits, which own their weights, bin with them instead. Binning is
 // deterministic, so a cached handle is bit-identical to a fresh build.
 func (c *Context) BinnedTrainingMatrix(ex features.Extractor, t, h, w int) (*featcache.Matrix, error) {
+	return c.binnedTrainingMatrixAt(ex, t-h, w)
+}
+
+// binnedTrainingMatrixAt is BinnedTrainingMatrix keyed directly by the
+// training cutoff t-h — the form the quantized build actually depends on.
+// The sweep prewarmer calls it straight from plan keys (whose End is the
+// cutoff), so warming and fitting share one build per anti-diagonal.
+func (c *Context) binnedTrainingMatrixAt(ex features.Extractor, cutoff, w int) (*featcache.Matrix, error) {
 	build := func() (*featcache.Matrix, error) {
-		x, width, err := trainingMatrix(c, ex, t, h, w)
+		x, width, err := trainingMatrixAt(c, ex, cutoff, w)
 		if err != nil {
 			return nil, err
 		}
@@ -320,7 +328,7 @@ func (c *Context) BinnedTrainingMatrix(ex features.Extractor, t, h, w int) (*fea
 	if cache == nil {
 		return build()
 	}
-	key := featcache.Key{Extractor: ex.Name(), End: t - h, W: w, Binned: true, Days: c.TrainDays}
+	key := featcache.Key{Extractor: ex.Name(), End: cutoff, W: w, Binned: true, Days: c.TrainDays}
 	return cache.GetOrBuild(key, build)
 }
 

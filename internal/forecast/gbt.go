@@ -80,7 +80,7 @@ func (m *GBTModel) Fit(c *Context, target Target, t, h, w int) (Trained, error) 
 			return nil, fmt.Errorf("forecast: fitting GBT: %w", err)
 		}
 	} else {
-		x, w2, err := trainingMatrix(c, m.Extractor, t, h, w)
+		x, w2, err := trainingMatrixAt(c, m.Extractor, t-h, w)
 		if err != nil {
 			return nil, fmt.Errorf("forecast: building GBT training matrix: %w", err)
 		}

@@ -1,9 +1,11 @@
 package forecast
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
+	"repro/internal/featcache"
 	"repro/internal/mltree"
 )
 
@@ -229,4 +231,116 @@ func TestBinnedTrainingMatrixCachedMatchesUncached(t *testing.T) {
 		t.Fatal("grid points sharing a cutoff did not share the cached binned matrix")
 	}
 	c.CacheBytes = 0
+}
+
+// TestWarmPrewarmsBinnedMatrices: the sweep prewarmer must build the
+// quantized training matrices hist-mode fits consume — every (extractor,
+// cutoff, w) the grid demands is resident before evaluation starts — and
+// the warmed cached sweep must stay bit-identical to the uncached one.
+func TestWarmPrewarmsBinnedMatrices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classifier sweeps are slow")
+	}
+	c := testContext(t, 120, 10, 47)
+	c.ForestTrees = 4
+	c.SplitAlgo = mltree.SplitHist
+	c.ModelCacheBytes = -1
+	defer func() { c.SplitAlgo = mltree.SplitExact }()
+
+	gbt := NewGBT()
+	gbt.Config.Rounds = 8
+	cfg := SweepConfig{
+		Models:        []Model{NewTreeModel(), gbt},
+		Target:        BeHot,
+		Ts:            []int{24, 30},
+		Hs:            []int{1, 4},
+		Ws:            []int{7},
+		RandomRepeats: 2,
+		Workers:       2,
+	}
+
+	c.CacheBytes = 0
+	cache := c.FeatureCache()
+	warmFeatureCache(c, cfg)
+
+	// With SplitHist forced, both models bin; the grid's binned keys are
+	// one per (extractor, cutoff t-h, w).
+	resident := func(ex string, cutoff, w int) bool {
+		key := featcache.Key{Extractor: ex, End: cutoff, W: w, Binned: true, Days: c.TrainDays}
+		_, err := cache.GetOrBuild(key, func() (*featcache.Matrix, error) {
+			return nil, fmt.Errorf("not warmed")
+		})
+		return err == nil
+	}
+	for _, ex := range []string{NewTreeModel().Extractor.Name(), gbt.Extractor.Name()} {
+		for _, tt := range cfg.Ts {
+			for _, h := range cfg.Hs {
+				if !resident(ex, tt-h, 7) {
+					t.Fatalf("binned build (%s, cutoff=%d, w=7) not resident after warm", ex, tt-h)
+				}
+			}
+		}
+	}
+
+	// The warmed cached sweep serves fits from prewarmed quantizations;
+	// records must be bit-identical to a cache-off sweep.
+	warmed, err := Sweep(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CacheBytes = -1
+	uncached, err := Sweep(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CacheBytes = 0
+	sameRecords(t, uncached, warmed, "warmed-binned")
+}
+
+// TestBinnedDemandMirrorsFitDecisions: the prewarmer quantizes exactly the
+// (extractor, w) combinations some model will consume in hist form —
+// nothing under exact mode, everything under forced hist, and the
+// work-threshold subset under auto.
+func TestBinnedDemandMirrorsFitDecisions(t *testing.T) {
+	c := testContext(t, 100, 10, 53)
+	cfg := histSweepConfig(1)
+
+	c.SplitAlgo = mltree.SplitExact
+	if got := binnedDemand(c, cfg); got != nil {
+		t.Fatalf("exact mode demands binned builds: %v", got)
+	}
+
+	c.SplitAlgo = mltree.SplitHist
+	got := binnedDemand(c, cfg)
+	for _, m := range cfg.Models {
+		fm, ok := m.(featureModel)
+		if !ok || fm.featureExtractor() == nil {
+			continue
+		}
+		name := fm.featureExtractor().Name()
+		if len(got[name]) != len(cfg.Ws) {
+			t.Fatalf("hist mode: extractor %s demands ws %v, want %v", name, got[name], cfg.Ws)
+		}
+	}
+
+	// Auto must agree with each fit's own resolution.
+	c.SplitAlgo = mltree.SplitAuto
+	got = binnedDemand(c, cfg)
+	rows := c.TrainDays * c.Sectors()
+	gbt := NewGBT()
+	for _, w := range cfg.Ws {
+		work := mltree.SplitWork(mltree.Config{Rule: mltree.SqrtFeatures}, rows, gbt.Extractor.Width(c.View, w))
+		wantHist := mltree.SplitAuto.Resolve(work) == mltree.SplitHist
+		has := false
+		for _, gw := range got[gbt.Extractor.Name()] {
+			if gw == w {
+				has = true
+			}
+		}
+		if has != wantHist {
+			t.Fatalf("auto mode: extractor %s w=%d prewarm=%t, fit resolves hist=%t",
+				gbt.Extractor.Name(), w, has, wantHist)
+		}
+	}
+	c.SplitAlgo = mltree.SplitExact
 }

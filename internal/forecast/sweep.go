@@ -3,11 +3,13 @@ package forecast
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 
 	"repro/internal/eval"
 	"repro/internal/featcache"
 	"repro/internal/features"
+	"repro/internal/mltree"
 	"repro/internal/parallel"
 	"repro/internal/randx"
 )
@@ -181,11 +183,12 @@ func Sweep(c *Context, cfg SweepConfig) (*Result, error) {
 }
 
 // warmFeatureCache compiles the grid's distinct (extractor, end, w) matrix
-// builds and executes them once through the shared pool, so grid-point
-// evaluation starts against a hot cache instead of racing to build the
-// same matrices. Best-effort: with the cache disabled or no extractor
-// models in the sweep it is a no-op, and build errors are left for the
-// evaluation to surface in grid order.
+// builds — float per-day blocks plus, for hist-mode fits, the quantized
+// stacked training matrices — and executes them once through the shared
+// pool, so grid-point evaluation starts against a hot cache instead of
+// racing to build the same matrices. Best-effort: with the cache disabled
+// or no extractor models in the sweep it is a no-op, and build errors are
+// left for the evaluation to surface in grid order.
 func warmFeatureCache(c *Context, cfg SweepConfig) {
 	cache := c.FeatureCache()
 	if cache == nil {
@@ -214,6 +217,7 @@ func warmFeatureCache(c *Context, cfg SweepConfig) {
 		Ts: cfg.Ts, Hs: cfg.Hs, Ws: cfg.Ws,
 		TrainDays:  c.TrainDays,
 		Extractors: names,
+		Binned:     binnedDemand(c, cfg),
 	})
 	// Warm only into the budget headroom left by earlier sweeps, so a
 	// prewarm never evicts matrices that are still hot. (Keys already
@@ -228,11 +232,73 @@ func warmFeatureCache(c *Context, cfg SweepConfig) {
 	}
 	rows := int64(c.Sectors())
 	plan.Warm(cfg.Workers, budget, func(k featcache.Key) int64 {
-		return rows * int64(extractors[k.Extractor].Width(c.View, k.W)) * 8
+		width := int64(extractors[k.Extractor].Width(c.View, k.W))
+		if k.Binned {
+			// One code byte per cell of the stacked matrix, plus the
+			// per-feature thresholds (<= maxBins-1 float64s each).
+			return int64(k.Days)*rows*width + width*int64(mltree.DefaultMaxBins)*8
+		}
+		return rows * width * 8
 	}, func(k featcache.Key) error {
-		_, err := c.FeatureMatrix(extractors[k.Extractor], k.End, k.W)
+		var err error
+		if k.Binned {
+			_, err = c.binnedTrainingMatrixAt(extractors[k.Extractor], k.End, k.W)
+		} else {
+			_, err = c.FeatureMatrix(extractors[k.Extractor], k.End, k.W)
+		}
 		return err
 	})
+}
+
+// binnedDemand mirrors the classifier and GBT fit paths' split-algorithm
+// resolution per (extractor, w): a quantized training matrix is prewarmed
+// exactly when some model in the sweep will consume it in hist form. The
+// decision is a pure function of the training-set shape (the same
+// SplitWork estimate the fits use), never of data, so warming and fitting
+// cannot disagree.
+func binnedDemand(c *Context, cfg SweepConfig) map[string][]int {
+	rows := c.TrainDays * c.Sectors()
+	need := map[string]map[int]bool{}
+	add := func(ex features.Extractor, treeCfg mltree.Config) {
+		for _, w := range cfg.Ws {
+			work := mltree.SplitWork(treeCfg, rows, ex.Width(c.View, w))
+			if c.SplitAlgo.Resolve(work) != mltree.SplitHist {
+				continue
+			}
+			ws := need[ex.Name()]
+			if ws == nil {
+				ws = map[int]bool{}
+				need[ex.Name()] = ws
+			}
+			ws[w] = true
+		}
+	}
+	for _, m := range cfg.Models {
+		switch mm := m.(type) {
+		case *ClassifierModel:
+			if mm.SectorSubset != nil {
+				continue // bespoke rows bypass the all-sector cache
+			}
+			treeCfg := mltree.ForestTreeConfig()
+			if mm.SingleTree {
+				treeCfg = mltree.TreeConfig()
+			}
+			add(mm.Extractor, treeCfg)
+		case *GBTModel:
+			add(mm.Extractor, mltree.Config{Rule: mltree.SqrtFeatures})
+		}
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	out := map[string][]int{}
+	for name, ws := range need {
+		for w := range ws {
+			out[name] = append(out[name], w)
+		}
+		sort.Ints(out[name])
+	}
+	return out
 }
 
 // evalPoint evaluates all models at one grid point.

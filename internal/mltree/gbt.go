@@ -59,7 +59,7 @@ func FitGBT(x []float64, n, f int, y []int, w []float64, cfg GBTConfig) (*GBT, e
 		// Quantiles follow the caller's base weights; the per-round
 		// subsample reweighting happens after binning and shares the one
 		// quantization across all rounds.
-		bn, err := Bin(x, n, f, w, DefaultMaxBins)
+		bn, err := binShared(x, n, f, w, DefaultMaxBins, 1)
 		if err != nil {
 			return nil, err
 		}

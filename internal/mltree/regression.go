@@ -46,7 +46,7 @@ func FitRegressionTree(x []float64, n, f int, targets, w []float64, cfg Regressi
 	}
 	work := splitWork(Config{Rule: cfg.Rule, Fraction: cfg.Fraction}, n, f)
 	if cfg.Algo.Resolve(work) == SplitHist {
-		bn, err := Bin(x, n, f, w, DefaultMaxBins)
+		bn, err := binShared(x, n, f, w, DefaultMaxBins, 1)
 		if err != nil {
 			return nil, err
 		}

@@ -102,7 +102,7 @@ func BalancedWeights(y []int, numClasses int) []float64 {
 // profit from it.
 func FitTree(x []float64, n, f int, y []int, w []float64, numClasses int, cfg Config, rng *randx.RNG) (*Tree, error) {
 	if cfg.Algo.Resolve(splitWork(cfg, n, f)) == SplitHist {
-		bn, err := Bin(x, n, f, w, DefaultMaxBins)
+		bn, err := binShared(x, n, f, w, DefaultMaxBins, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -629,7 +629,7 @@ func FitForest(x []float64, n, f int, y []int, w []float64, numClasses int, cfg 
 	if cfg.Tree.Algo.Resolve(splitWork(cfg.Tree, n, f)) == SplitHist {
 		// Quantiles follow the caller's base weights; the per-tree bootstrap
 		// reweighting happens after binning and shares the one quantization.
-		bn, err := BinWorkers(x, n, f, w, DefaultMaxBins, cfg.Workers)
+		bn, err := binShared(x, n, f, w, DefaultMaxBins, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Built-in packs. Each constructor returns a fresh value so callers can
+// tune parameters without aliasing; the registry below is what cmd/hotscen
+// and CI enumerate.
+
+// Baseline is the unmodified generator output: the control row of every
+// evaluation matrix.
+func Baseline() Pack {
+	return Pack{Name: "baseline", Desc: "unmodified generator output (control)"}
+}
+
+// FlashCrowdPack stresses spatial locality: three stadium-scale crowd
+// events with ~6 km decay radius.
+func FlashCrowdPack() Pack {
+	return Pack{
+		Name:     "flash-crowd",
+		Desc:     "localized crowd surges with spatial decay (stadium/parade)",
+		Overlays: []Overlay{&FlashCrowd{Events: 3, RadiusKM: 6, Peak: 1.0}},
+	}
+}
+
+// OutageWavePack stresses degenerate-value handling: 12% of sectors suffer
+// a day-scale outage with a half-day repair ramp.
+func OutageWavePack() Pack {
+	return Pack{
+		Name:     "outage-wave",
+		Desc:     "sector outages with degenerate KPIs and repair ramps",
+		Overlays: []Overlay{&Outage{Frac: 0.12, MeanHours: 30, RepairHours: 12}},
+	}
+}
+
+// MissingStormPack stresses imputation and score robustness: three
+// correlated collection outages each sweeping half the network.
+func MissingStormPack() Pack {
+	return Pack{
+		Name:     "missing-storm",
+		Desc:     "correlated NaN bursts from shared collection outages",
+		Overlays: []Overlay{&MissingStorm{Storms: 3, MeanHours: 18, SectorProb: 0.5}},
+	}
+}
+
+// SeasonalDriftPack stresses train/test distribution shift: load pressure
+// ramps 50% over the window.
+func SeasonalDriftPack() Pack {
+	return Pack{
+		Name:     "seasonal-drift",
+		Desc:     "slow baseline load ramp across the window",
+		Overlays: []Overlay{&SeasonalDrift{Amp: 0.5}},
+	}
+}
+
+// LoadShiftPack stresses learned diurnal structure: half the sectors see
+// their demand peak move six hours.
+func LoadShiftPack() Pack {
+	return Pack{
+		Name:     "load-shift",
+		Desc:     "time-of-day demand displacement on half the sectors",
+		Overlays: []Overlay{&LoadShift{ShiftHours: 6, Frac: 0.5, Amp: 0.6}},
+	}
+}
+
+// PerfectStormPack composes every overlay at once: the worst week of the
+// operator's year.
+func PerfectStormPack() Pack {
+	return Pack{
+		Name: "perfect-storm",
+		Desc: "all overlays composed: crowds, outages, missing storms, drift and load shift",
+		Overlays: []Overlay{
+			&FlashCrowd{Events: 2, RadiusKM: 6, Peak: 1.0},
+			&Outage{Frac: 0.08, MeanHours: 24, RepairHours: 12},
+			&MissingStorm{Storms: 2, MeanHours: 14, SectorProb: 0.4},
+			&SeasonalDrift{Amp: 0.35},
+			&LoadShift{ShiftHours: 5, Frac: 0.35, Amp: 0.5},
+		},
+	}
+}
+
+// BuiltinPacks returns every built-in pack, baseline first.
+func BuiltinPacks() []Pack {
+	return []Pack{
+		Baseline(),
+		FlashCrowdPack(),
+		OutageWavePack(),
+		MissingStormPack(),
+		SeasonalDriftPack(),
+		LoadShiftPack(),
+		PerfectStormPack(),
+	}
+}
+
+// PackByName resolves a built-in pack by name.
+func PackByName(name string) (Pack, error) {
+	for _, p := range BuiltinPacks() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	var names []string
+	for _, p := range BuiltinPacks() {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return Pack{}, fmt.Errorf("scenario: unknown pack %q (have %s)", name, strings.Join(names, ", "))
+}

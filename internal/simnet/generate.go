@@ -128,43 +128,24 @@ type Dataset struct {
 func (d *Dataset) N() int { return d.K.N }
 
 // Generate builds the full synthetic dataset. It is deterministic in
-// cfg.Seed and parallel across sectors.
+// cfg.Seed and parallel across sectors. It shares the per-sector emission
+// path with the chunked Stream, so materialized and streamed generation are
+// bit-identical.
 func Generate(cfg Config) (*Dataset, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	grid, err := timegrid.New(timegrid.PaperStart, cfg.Weeks)
+	s, err := NewStream(cfg)
 	if err != nil {
 		return nil, err
 	}
-	root := randx.New(cfg.Seed, 0x9e3779b97f4a7c15)
-	topo := buildTopology(topologyConfig{
-		sectors:       cfg.Sectors,
-		cities:        cfg.Cities,
-		countrySpanKM: 420,
-		citySpreadKM:  4.5,
-		ruralFraction: 0.25,
-	}, root.Derive("topology"))
-
-	assignProfiles(topo, cfg, root.Derive("profiles"))
-
-	n := len(topo.Sectors)
-	mh := grid.Hours()
+	n := s.N()
+	mh := s.grid.Hours()
 	k := tensor.NewTensor3(n, mh, NumKPIs)
 	hot := tensor.NewMatrix(n, mh)
 	episodesPerSector := make([][]Episode, n)
 
-	// Shared country-level modulations: special retail days and regional
-	// weather events, computed once.
-	shared := buildSharedEvents(grid, root.Derive("events"), topo)
-
 	// Fan sectors out on the shared pool; each sector's RNG is keyed by its
 	// index, so the dataset is identical at any worker count.
 	if err := parallel.For(0, n, func(i int) error {
-		rng := randx.DeriveIndexed(cfg.Seed, 0x5bf03635, "sector", i)
-		sched, eps := buildSchedule(&topo.Sectors[i], grid, rng, cfg)
-		episodesPerSector[i] = eps
-		emitSector(i, topo, grid, &sched, shared, k, hot, rng)
+		episodesPerSector[i] = s.emitInto(i, k.Sector(i), hot.Row(i))
 		return nil
 	}); err != nil {
 		return nil, err
@@ -175,12 +156,10 @@ func Generate(cfg Config) (*Dataset, error) {
 		episodes = append(episodes, eps...)
 	}
 
-	injectMissing(k, cfg, root.Derive("missing"))
-
 	return &Dataset{
-		Grid:   grid,
+		Grid:   s.grid,
 		Config: cfg,
-		Topo:   topo,
+		Topo:   s.topo,
 		K:      k,
 		Truth:  &Truth{HotDrive: hot, Episodes: episodes},
 	}, nil
@@ -329,9 +308,12 @@ func classWeekday(class LandUse, dow int, holiday bool) float64 {
 	}
 }
 
-// emitSector fills K[i, :, :] and hot[i, :] for one sector.
+// emitSector fills one sector's KPI block (kRow, mh x NumKPIs row-major)
+// and ground-truth hot row (hotRow, mh hours). Writing through row views
+// rather than the full tensors lets the chunked Stream reuse the exact same
+// emission path.
 func emitSector(i int, topo *Topology, g *timegrid.Grid, sched *schedule,
-	shared *sharedEvents, k *tensor.Tensor3, hot *tensor.Matrix, rng *randx.RNG) {
+	shared *sharedEvents, kRow, hotRow []float64, rng *randx.RNG) {
 	sec := &topo.Sectors[i]
 	mh := g.Hours()
 	// Per-KPI AR(1) noise state.
@@ -388,7 +370,7 @@ func emitSector(i int, topo *Topology, g *timegrid.Grid, sched *schedule,
 			hotAmp = rng.Uniform(0.85, 1.0) // outages are hot regardless of profile
 		}
 		if hotAmp > 0 {
-			hot.Set(i, j, 1)
+			hotRow[j] = 1
 		}
 
 		// Precursor stress, shaped by the diurnal curve so ramps look like
@@ -399,7 +381,7 @@ func emitSector(i int, topo *Topology, g *timegrid.Grid, sched *schedule,
 		if inOutage {
 			cause = causeHardware
 		}
-		cell := k.Cell(i, j)
+		cell := kRow[j*NumKPIs : (j+1)*NumKPIs]
 		for idx := range catalogue {
 			kp := &catalogue[idx]
 			arState[idx] = arRho*arState[idx] + rng.Norm(0, math.Sqrt(1-arRho*arRho))

@@ -4,24 +4,30 @@ import (
 	"math"
 
 	"repro/internal/randx"
-	"repro/internal/tensor"
 	"repro/internal/timegrid"
 )
 
-// injectMissing replaces entries of K with NaN following the three
-// mechanisms the paper describes (Sec. II-C):
+// Missing data follows the three mechanisms the paper describes (Sec. II-C):
 //
 //  1. isolated points K[i,j,k] (probe glitches),
 //  2. whole indicator rows K[i,j,:] (collection-server congestion),
 //  3. time ranges K[i,j:j+t,:] (site offline / backbone congestion),
 //
 // plus a small set of "bad" sectors given >50% missing weeks so the
-// filtering rule of the paper has material to discard.
-func injectMissing(k *tensor.Tensor3, cfg Config, rng *randx.RNG) {
-	if cfg.MissingTarget <= 0 && cfg.BadSectorFrac <= 0 {
+// filtering rule of the paper has material to discard. The per-sector
+// mechanisms are keyed by sector index and applied row-locally
+// (injectSectorMissing); the bad-sector wipes consume a shared stream, so
+// they are replayed once into an explicit plan (planBadWipes) that both the
+// materialized and the streamed generation paths share.
+
+// injectSectorMissing applies the per-sector missing mechanisms to one
+// sector's row block kRow (mh x f, row-major). Randomness is keyed by the
+// sector index, so the result is independent of generation order and
+// chunking.
+func injectSectorMissing(kRow []float64, f, mh, sector int, cfg Config) {
+	if cfg.MissingTarget <= 0 {
 		return
 	}
-	n, mh := k.N, k.T
 	nan := math.NaN()
 
 	// Split the target mass: 30% points, 30% rows, 40% ranges.
@@ -31,52 +37,66 @@ func injectMissing(k *tensor.Tensor3, cfg Config, rng *randx.RNG) {
 	const meanRange = 8.0
 	rangeRate := cfg.MissingTarget * 0.40 / meanRange
 
-	for i := 0; i < n; i++ {
-		srng := randx.DeriveIndexed(cfg.Seed, 0x7fb5d329, "missing", i)
-		for j := 0; j < mh; j++ {
-			if srng.Bool(rowProb) {
-				for f := 0; f < k.F; f++ {
-					k.Set(i, j, f, nan)
-				}
-				continue
+	srng := randx.DeriveIndexed(cfg.Seed, 0x7fb5d329, "missing", sector)
+	for j := 0; j < mh; j++ {
+		if srng.Bool(rowProb) {
+			wipeHour(kRow, f, j)
+			continue
+		}
+		if srng.Bool(rangeRate) {
+			span := 1 + int(srng.Exp(meanRange-1))
+			for s := 0; s < span && j+s < mh; s++ {
+				wipeHour(kRow, f, j+s)
 			}
-			if srng.Bool(rangeRate) {
-				span := 1 + int(srng.Exp(meanRange-1))
-				for s := 0; s < span && j+s < mh; s++ {
-					for f := 0; f < k.F; f++ {
-						k.Set(i, j+s, f, nan)
-					}
-				}
-				j += span - 1
-				continue
-			}
-			for f := 0; f < k.F; f++ {
-				if srng.Bool(pointProb) {
-					k.Set(i, j, f, nan)
-				}
+			j += span - 1
+			continue
+		}
+		for k := 0; k < f; k++ {
+			if srng.Bool(pointProb) {
+				kRow[j*f+k] = nan
 			}
 		}
 	}
+}
 
-	// Bad sectors: choose a handful and wipe out most of one or more weeks.
+// planBadWipes draws the bad-sector week wipes into an explicit plan mapping
+// sector index to the hour indices to wipe. The draws consume the shared
+// stream in a fixed sequential order, so the plan is identical however the
+// sectors are later emitted.
+func planBadWipes(n, mh int, cfg Config, rng *randx.RNG) map[int][]int {
 	bad := int(float64(n) * cfg.BadSectorFrac)
 	if bad == 0 {
-		return
+		return nil
 	}
+	plan := make(map[int][]int, bad)
 	chosen := rng.SampleWithoutReplacement(n, bad)
 	for _, i := range chosen {
 		weeks := 1 + rng.IntN(3)
 		for w := 0; w < weeks; w++ {
-			week := rng.IntN(k.T / timegrid.HoursPerWeek)
+			week := rng.IntN(mh / timegrid.HoursPerWeek)
 			start := week * timegrid.HoursPerWeek
 			// Wipe ~70% of the week's hours entirely.
 			for j := start; j < start+timegrid.HoursPerWeek; j++ {
 				if rng.Bool(0.7) {
-					for f := 0; f < k.F; f++ {
-						k.Set(i, j, f, nan)
-					}
+					plan[i] = append(plan[i], j)
 				}
 			}
 		}
+	}
+	return plan
+}
+
+// wipeHours blanks the listed hour indices of one sector row block.
+func wipeHours(kRow []float64, f int, hours []int) {
+	for _, j := range hours {
+		wipeHour(kRow, f, j)
+	}
+}
+
+// wipeHour blanks every KPI of hour j in a sector row block.
+func wipeHour(kRow []float64, f, j int) {
+	nan := math.NaN()
+	for k := 0; k < f; k++ {
+		kRow[j*f+k] = nan
 	}
 }
