@@ -647,3 +647,120 @@ func benchFitGBT(b *testing.B, algo mltree.SplitAlgo) {
 
 func BenchmarkFitGBTExact(b *testing.B) { benchFitGBT(b, mltree.SplitExact) }
 func BenchmarkFitGBTHist(b *testing.B)  { benchFitGBT(b, mltree.SplitHist) }
+
+// ---------------------------------------------------------------------------
+// Batched inference benchmarks: the walked (pointer-chasing, row-at-a-time)
+// predict path against the flat SoA batch engine, per learner, scoring the
+// shared 4000x100 block — the all-sector matrix shape artifact.Predict
+// serves. Both arms reuse preallocated output (and scratch) buffers, so
+// steady-state allocs/op is 0 and the delta is pure traversal cost; the
+// acceptance bar is a >=3x forecasts/s win for the flat forest and GBT.
+// "forecasts/s" counts scored rows (sector scores) per wall second.
+
+var (
+	predictBenchOnce   sync.Once
+	predictBenchErr    error
+	predictBenchTree   *mltree.Tree
+	predictBenchForest *mltree.Forest
+	predictBenchGBT    *mltree.GBT
+)
+
+// predictBenchModels fits one model of each kind on the shared training
+// set (hist engine — the fit is setup cost, not the measurement).
+func predictBenchModels(b *testing.B) (*mltree.Tree, *mltree.Forest, *mltree.GBT) {
+	x, y, w := trainBenchData()
+	predictBenchOnce.Do(func() {
+		treeCfg := mltree.TreeConfig()
+		treeCfg.Algo = mltree.SplitHist
+		predictBenchTree, predictBenchErr = mltree.FitTree(
+			x, trainBenchN, trainBenchF, y, w, 2, treeCfg, randx.New(21, 22))
+		if predictBenchErr != nil {
+			return
+		}
+		foCfg := mltree.DefaultForestConfig()
+		foCfg.Tree.Algo = mltree.SplitHist
+		foCfg.Seed = 23
+		predictBenchForest, predictBenchErr = mltree.FitForest(
+			x, trainBenchN, trainBenchF, y, w, 2, foCfg)
+		if predictBenchErr != nil {
+			return
+		}
+		gbtCfg := mltree.DefaultGBTConfig()
+		gbtCfg.Algo = mltree.SplitHist
+		gbtCfg.Seed = 25
+		predictBenchGBT, predictBenchErr = mltree.FitGBT(
+			x, trainBenchN, trainBenchF, y, w, gbtCfg)
+	})
+	if predictBenchErr != nil {
+		b.Fatal(predictBenchErr)
+	}
+	return predictBenchTree, predictBenchForest, predictBenchGBT
+}
+
+// benchPredictWalked measures the per-row pointer path: one scratch
+// probability buffer, score() per row, as artifact.Predict's fallback
+// does.
+func benchPredictWalked(b *testing.B, score func(row, probs []float64) float64) {
+	x, _, _ := trainBenchData()
+	out := make([]float64, trainBenchN)
+	probs := make([]float64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < trainBenchN; r++ {
+			out[r] = score(x[r*trainBenchF:(r+1)*trainBenchF], probs)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(trainBenchN)*float64(b.N)/b.Elapsed().Seconds(), "forecasts/s")
+}
+
+// benchPredictFlat measures the flat engine's one-call batch path.
+func benchPredictFlat(b *testing.B, scoreBatch func(x []float64, n int, out []float64)) {
+	x, _, _ := trainBenchData()
+	out := make([]float64, trainBenchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scoreBatch(x, trainBenchN, out)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(trainBenchN)*float64(b.N)/b.Elapsed().Seconds(), "forecasts/s")
+}
+
+func BenchmarkPredictBatchTreeWalked(b *testing.B) {
+	tree, _, _ := predictBenchModels(b)
+	benchPredictWalked(b, func(row, probs []float64) float64 {
+		tree.PredictProbaInto(row, probs)
+		return probs[1]
+	})
+}
+
+func BenchmarkPredictBatchTreeFlat(b *testing.B) {
+	tree, _, _ := predictBenchModels(b)
+	benchPredictFlat(b, tree.Flatten().ScoreBatch)
+}
+
+func BenchmarkPredictBatchForestWalked(b *testing.B) {
+	_, forest, _ := predictBenchModels(b)
+	benchPredictWalked(b, func(row, probs []float64) float64 {
+		forest.PredictProbaInto(row, probs)
+		return probs[1]
+	})
+}
+
+func BenchmarkPredictBatchForestFlat(b *testing.B) {
+	_, forest, _ := predictBenchModels(b)
+	benchPredictFlat(b, forest.Flatten().ScoreBatch)
+}
+
+func BenchmarkPredictBatchGBTWalked(b *testing.B) {
+	_, _, gbt := predictBenchModels(b)
+	benchPredictWalked(b, func(row, probs []float64) float64 {
+		gbt.PredictProbaInto(row, probs)
+		return probs[1]
+	})
+}
+
+func BenchmarkPredictBatchGBTFlat(b *testing.B) {
+	_, _, gbt := predictBenchModels(b)
+	benchPredictFlat(b, gbt.Flatten().ScoreBatch)
+}

@@ -9,46 +9,27 @@
 // Each benchmark line becomes one entry with its parallelism suffix,
 // iteration count and every reported metric (ns/op, B/op, allocs/op and
 // any custom b.ReportMetric units). Non-benchmark lines are ignored, so
-// the tool can consume a full `go test` transcript.
+// the tool can consume a full `go test` transcript. The document shape
+// lives in internal/benchfmt, shared with the hotblast load generator.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
-	"fmt"
 	"io"
 	"log"
 	"os"
 	"regexp"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchfmt"
 )
-
-// Entry is one parsed benchmark result.
-type Entry struct {
-	// Name is the benchmark name without the "Benchmark" prefix and the
-	// -procs suffix (e.g. "FitForestHist").
-	Name string `json:"name"`
-	// Procs is the GOMAXPROCS suffix of the run (1 when absent).
-	Procs int `json:"procs"`
-	// Iterations is the measured b.N.
-	Iterations int64 `json:"iterations"`
-	// Metrics maps unit -> value for every reported pair (ns/op, B/op,
-	// allocs/op, custom units).
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// Report is the top-level JSON document.
-type Report struct {
-	Benchmarks []Entry `json:"benchmarks"`
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "", "output path (default stdout)")
 	match := flag.String("match", "", "keep only benchmarks whose name (without the Benchmark prefix) matches this regexp")
+	diff := flag.String("diff", "", "baseline BENCH_*.json to schema-compare the parsed report against (fails on vanished series)")
 	flag.Parse()
 	var keep *regexp.Regexp
 	if *match != "" {
@@ -57,7 +38,7 @@ func main() {
 			log.Fatalf("bad -match: %v", err)
 		}
 	}
-	report, err := parse(os.Stdin, keep)
+	report, err := benchfmt.Parse(os.Stdin, keep)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,57 +56,13 @@ func main() {
 	if err := enc.Encode(report); err != nil {
 		log.Fatal(err)
 	}
-}
-
-// parse scans a go-test transcript for benchmark result lines, keeping
-// only names matched by keep (nil keeps everything).
-func parse(r io.Reader, keep *regexp.Regexp) (*Report, error) {
-	report := &Report{Benchmarks: []Entry{}}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		entry, ok := parseLine(sc.Text())
-		if ok && (keep == nil || keep.MatchString(entry.Name)) {
-			report.Benchmarks = append(report.Benchmarks, entry)
-		}
-	}
-	return report, sc.Err()
-}
-
-// parseLine parses one "BenchmarkName-P  N  value unit [value unit]..."
-// result line; ok is false for anything else.
-func parseLine(line string) (Entry, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return Entry{}, false
-	}
-	name := strings.TrimPrefix(fields[0], "Benchmark")
-	procs := 1
-	if cut := strings.LastIndex(name, "-"); cut >= 0 {
-		if p, err := strconv.Atoi(name[cut+1:]); err == nil {
-			procs = p
-			name = name[:cut]
-		}
-	}
-	iterations, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Entry{}, false
-	}
-	metrics := map[string]float64{}
-	for i := 2; i+1 < len(fields); i += 2 {
-		value, err := strconv.ParseFloat(fields[i], 64)
+	if *diff != "" {
+		base, err := benchfmt.ReadFile(*diff)
 		if err != nil {
-			return Entry{}, false
+			log.Fatal(err)
 		}
-		metrics[fields[i+1]] = value
+		if err := benchfmt.CompareSchema(report, base); err != nil {
+			log.Fatal(err)
+		}
 	}
-	if len(metrics) == 0 {
-		return Entry{}, false
-	}
-	return Entry{Name: name, Procs: procs, Iterations: iterations, Metrics: metrics}, true
-}
-
-// String renders an entry for debugging.
-func (e Entry) String() string {
-	return fmt.Sprintf("%s-%d x%d %v", e.Name, e.Procs, e.Iterations, e.Metrics)
 }

@@ -58,7 +58,7 @@ func run(args []string, out io.Writer) error {
 		seed         = fs.Uint64("seed", 1, "random seed")
 		workers      = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		cacheMB      = fs.Int("cache-mb", 256, "feature-matrix cache budget in MiB (0 disables caching)")
-		splitAlgo    = fs.String("split-algo", "exact", "tree-training split search: exact | hist | auto")
+		splitAlgo    = fs.String("split-algo", "auto", "tree-training split search: exact | hist | auto")
 		csvPath      = fs.String("csv", "", "stream the scale's full model sweep to this CSV file as records complete")
 		skipForecast = fs.Bool("skip-forecast", false, "run only the descriptive analyses")
 		skipImpute   = fs.Bool("skip-impute", false, "skip the Fig 5 autoencoder comparison")

@@ -1,0 +1,329 @@
+// Command hotblast is the serving load generator: it drives a running
+// hotserve at a configured concurrency, measures end-to-end request
+// latency, and distills the run into the same benchjson document shape CI
+// tracks for training benches — so serving performance has a committed,
+// machine-readable trajectory (BENCH_serve.json) next to the training one.
+//
+// Usage:
+//
+//	hotserve -registry ./models -addr :8080 &
+//	hotblast -base http://localhost:8080 -duration 10s -concurrency 8 -o BENCH_serve.json
+//	hotblast -base http://localhost:8080 -diff BENCH_serve.json   # CI: schema-guard the baseline
+//
+// hotblast discovers the serving inventory from /healthz and drives two
+// phases against it: ServeForecast (single GET /forecast calls, every
+// artifact round-robin) and ServeForecastBatch (POST /forecast/batch with
+// -batch queries per request). Each phase reports p50/p90/p99/p999
+// latency in milliseconds, req/s, forecasts/s (query evaluations — a
+// batch of k counts k), and the error count. Every query is warmed once
+// before timing so the measured window is steady-state serving, not
+// first-touch feature-matrix builds.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hotblast: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hotblast", flag.ContinueOnError)
+	var (
+		base     = fs.String("base", "http://localhost:8080", "base URL of the hotserve instance to drive")
+		duration = fs.Duration("duration", 10*time.Second, "timed window per phase")
+		conc     = fs.Int("concurrency", 8, "concurrent load workers per phase")
+		batch    = fs.Int("batch", 16, "queries per /forecast/batch request in the batch phase (0 skips it)")
+		oPath    = fs.String("o", "", "write the benchjson report to this path (empty = stdout only)")
+		diff     = fs.String("diff", "", "baseline BENCH_serve.json to schema-compare against (fails on vanished series)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *conc < 1 || *duration <= 0 {
+		return fmt.Errorf("need -concurrency >= 1 and -duration > 0")
+	}
+	client := &http.Client{Timeout: *timeout}
+	queries, err := discover(client, *base)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "driving %s: %d artifact(s), %d workers, %v per phase\n",
+		*base, len(queries), *conc, *duration)
+	if err := warm(client, *base, queries); err != nil {
+		return err
+	}
+
+	report := &benchfmt.Report{}
+	single := runPhase("ServeForecast", *conc, *duration, func(iter int) (int, error) {
+		return 1, getOK(client, *base+"/forecast?"+queries[iter%len(queries)].Encode())
+	})
+	if err := single.check(); err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks, single.entry(*conc))
+	single.print(out)
+
+	if *batch > 0 {
+		body := batchBody(queries, *batch)
+		bp := runPhase("ServeForecastBatch", *conc, *duration, func(iter int) (int, error) {
+			return *batch, postOK(client, *base+"/forecast/batch", body)
+		})
+		if err := bp.check(); err != nil {
+			return err
+		}
+		report.Benchmarks = append(report.Benchmarks, bp.entry(*conc))
+		bp.print(out)
+	}
+
+	if *oPath != "" {
+		if err := benchfmt.WriteFile(*oPath, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *oPath)
+	} else {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	}
+	if *diff != "" {
+		baseline, err := benchfmt.ReadFile(*diff)
+		if err != nil {
+			return err
+		}
+		if err := benchfmt.CompareSchema(report, baseline); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "schema matches baseline %s\n", *diff)
+	}
+	return nil
+}
+
+// discover reads /healthz and turns the active artifact inventory into
+// fully-selective /forecast query strings (model+target+h+w pins exactly
+// one artifact, so no request is rejected as ambiguous).
+func discover(client *http.Client, base string) ([]url.Values, error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("hotblast: %s unreachable: %w", base, err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status string `json:"status"`
+		Models []struct {
+			Model  string `json:"model"`
+			Target string `json:"target"`
+			H      int    `json:"h"`
+			W      int    `json:"w"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return nil, fmt.Errorf("hotblast: bad /healthz body: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		return nil, fmt.Errorf("hotblast: server unhealthy: HTTP %d status %q", resp.StatusCode, health.Status)
+	}
+	var queries []url.Values
+	for _, m := range health.Models {
+		target := "hot"
+		if m.Target == "become-hot-spot" {
+			target = "become"
+		}
+		queries = append(queries, url.Values{
+			"model":  {m.Model},
+			"target": {target},
+			"h":      {strconv.Itoa(m.H)},
+			"w":      {strconv.Itoa(m.W)},
+		})
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("hotblast: server has no artifacts to drive")
+	}
+	return queries, nil
+}
+
+// warm issues every query once, sequentially, so first-touch work
+// (feature-matrix builds behind the server's cache) happens before any
+// timed phase.
+func warm(client *http.Client, base string, queries []url.Values) error {
+	for _, q := range queries {
+		if err := getOK(client, base+"/forecast?"+q.Encode()); err != nil {
+			return fmt.Errorf("hotblast: warmup: %w", err)
+		}
+	}
+	return nil
+}
+
+// batchBody builds one /forecast/batch request body cycling through the
+// discovered artifacts.
+func batchBody(queries []url.Values, k int) []byte {
+	type bq struct {
+		Model  string `json:"model"`
+		Target string `json:"target"`
+		H      int    `json:"h"`
+		W      int    `json:"w"`
+	}
+	var req struct {
+		Queries []bq `json:"queries"`
+	}
+	for i := 0; i < k; i++ {
+		q := queries[i%len(queries)]
+		h, _ := strconv.Atoi(q.Get("h"))
+		w, _ := strconv.Atoi(q.Get("w"))
+		req.Queries = append(req.Queries, bq{Model: q.Get("model"), Target: q.Get("target"), H: h, W: w})
+	}
+	body, _ := json.Marshal(req)
+	return body
+}
+
+func getOK(client *http.Client, u string) error {
+	resp, err := client.Get(u)
+	if err != nil {
+		return err
+	}
+	return drainOK(resp)
+}
+
+func postOK(client *http.Client, u string, body []byte) error {
+	resp, err := client.Post(u, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return drainOK(resp)
+}
+
+// drainOK consumes the body (connection reuse) and maps non-200 to an
+// error.
+func drainOK(resp *http.Response) error {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// phaseResult is one timed load phase.
+type phaseResult struct {
+	name      string
+	elapsed   time.Duration
+	lats      []time.Duration // successful requests only, unsorted
+	forecasts int64
+	errors    int64
+}
+
+// runPhase fans issue across conc workers until the duration elapses.
+// issue returns how many forecasts (query evaluations) the request
+// produced; its latency is recorded only on success.
+func runPhase(name string, conc int, duration time.Duration, issue func(iter int) (int, error)) *phaseResult {
+	res := &phaseResult{name: name}
+	var forecasts, errors atomic.Int64
+	perWorker := make([][]time.Duration, conc)
+	start := time.Now()
+	deadline := start.Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var lats []time.Duration
+			for iter := w; time.Now().Before(deadline); iter++ {
+				reqStart := time.Now()
+				nf, err := issue(iter)
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				lats = append(lats, time.Since(reqStart))
+				forecasts.Add(int64(nf))
+			}
+			perWorker[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	for _, lats := range perWorker {
+		res.lats = append(res.lats, lats...)
+	}
+	res.forecasts = forecasts.Load()
+	res.errors = errors.Load()
+	return res
+}
+
+// check fails a phase in which nothing succeeded — a load run against a
+// broken server must not distill into an all-zero report.
+func (r *phaseResult) check() error {
+	if len(r.lats) == 0 {
+		return fmt.Errorf("hotblast: %s: no successful requests (%d errors)", r.name, r.errors)
+	}
+	return nil
+}
+
+// quantile returns the q-th latency (0 < q <= 1) of the sorted slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// entry distills the phase into the shared benchjson shape.
+func (r *phaseResult) entry(conc int) benchfmt.Entry {
+	sort.Slice(r.lats, func(i, j int) bool { return r.lats[i] < r.lats[j] })
+	secs := r.elapsed.Seconds()
+	return benchfmt.Entry{
+		Name:       r.name,
+		Procs:      conc,
+		Iterations: int64(len(r.lats)),
+		Metrics: map[string]float64{
+			"p50-ms":      ms(quantile(r.lats, 0.50)),
+			"p90-ms":      ms(quantile(r.lats, 0.90)),
+			"p99-ms":      ms(quantile(r.lats, 0.99)),
+			"p999-ms":     ms(quantile(r.lats, 0.999)),
+			"req/s":       float64(len(r.lats)) / secs,
+			"forecasts/s": float64(r.forecasts) / secs,
+			"errors":      float64(r.errors),
+		},
+	}
+}
+
+func (r *phaseResult) print(out io.Writer) {
+	sort.Slice(r.lats, func(i, j int) bool { return r.lats[i] < r.lats[j] })
+	fmt.Fprintf(out, "%s: %d requests in %v (%d errors)\n", r.name, len(r.lats), r.elapsed.Round(time.Millisecond), r.errors)
+	fmt.Fprintf(out, "  p50 %.2fms  p90 %.2fms  p99 %.2fms  p999 %.2fms  %.1f req/s  %.1f forecasts/s\n",
+		ms(quantile(r.lats, 0.50)), ms(quantile(r.lats, 0.90)),
+		ms(quantile(r.lats, 0.99)), ms(quantile(r.lats, 0.999)),
+		float64(len(r.lats))/r.elapsed.Seconds(), float64(r.forecasts)/r.elapsed.Seconds())
+}

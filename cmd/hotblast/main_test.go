@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+// fakeServe mimics the hotserve surface hotblast touches: /healthz with an
+// artifact inventory, /forecast and /forecast/batch returning 200.
+func fakeServe(t *testing.T) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var singles, batches atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status": "ok",
+			"models": []map[string]any{
+				{"model": "RF-F1", "target": "hot-spot", "h": 3, "w": 7},
+				{"model": "GBT-F1", "target": "become-hot-spot", "h": 3, "w": 7},
+			},
+		})
+	})
+	mux.HandleFunc("GET /forecast", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if q.Get("model") == "" || q.Get("target") == "" || q.Get("h") == "" || q.Get("w") == "" {
+			http.Error(w, "ambiguous", http.StatusBadRequest)
+			return
+		}
+		singles.Add(1)
+		_ = json.NewEncoder(w).Encode(map[string]any{"top": []any{}})
+	})
+	mux.HandleFunc("POST /forecast/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Queries []json.RawMessage `json:"queries"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Queries) == 0 {
+			http.Error(w, "bad batch", http.StatusBadRequest)
+			return
+		}
+		batches.Add(int64(len(req.Queries)))
+		_ = json.NewEncoder(w).Encode(map[string]any{"results": []any{}})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &singles, &batches
+}
+
+func TestHotblastEndToEnd(t *testing.T) {
+	ts, singles, batches := fakeServe(t)
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var buf strings.Builder
+	err := run([]string{
+		"-base", ts.URL, "-duration", "200ms", "-concurrency", "4",
+		"-batch", "5", "-o", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	if singles.Load() <= 2 { // warmup issues 2; the timed phase must add more
+		t.Fatalf("only %d single requests reached the server", singles.Load())
+	}
+	if batches.Load() == 0 || batches.Load()%5 != 0 {
+		t.Fatalf("batch queries = %d, want a positive multiple of 5", batches.Load())
+	}
+	report, err := benchfmt.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("report has %d entries, want 2: %v", len(report.Benchmarks), report.Benchmarks)
+	}
+	byName := map[string]benchfmt.Entry{}
+	for _, e := range report.Benchmarks {
+		byName[e.Name] = e
+	}
+	for _, name := range []string{"ServeForecast", "ServeForecastBatch"} {
+		e, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing entry %s", name)
+		}
+		if e.Procs != 4 || e.Iterations == 0 {
+			t.Fatalf("%s: procs %d iterations %d", name, e.Procs, e.Iterations)
+		}
+		for _, key := range []string{"p50-ms", "p90-ms", "p99-ms", "p999-ms", "req/s", "forecasts/s", "errors"} {
+			if _, ok := e.Metrics[key]; !ok {
+				t.Fatalf("%s: metric %s missing: %v", name, key, e.Metrics)
+			}
+		}
+		if e.Metrics["p50-ms"] > e.Metrics["p999-ms"] {
+			t.Fatalf("%s: p50 %v above p999 %v", name, e.Metrics["p50-ms"], e.Metrics["p999-ms"])
+		}
+		if e.Metrics["errors"] != 0 || e.Metrics["req/s"] <= 0 {
+			t.Fatalf("%s: errors %v req/s %v", name, e.Metrics["errors"], e.Metrics["req/s"])
+		}
+	}
+	if s, b := byName["ServeForecast"], byName["ServeForecastBatch"]; b.Metrics["forecasts/s"] <= s.Metrics["forecasts/s"] {
+		t.Fatalf("batching did not raise forecasts/s: single %v, batch %v",
+			s.Metrics["forecasts/s"], b.Metrics["forecasts/s"])
+	}
+
+	// A second run -diff'ed against the first must pass the schema guard.
+	buf.Reset()
+	err = run([]string{
+		"-base", ts.URL, "-duration", "100ms", "-concurrency", "2",
+		"-batch", "5", "-diff", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("diff run: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "schema matches baseline") {
+		t.Fatalf("diff run output missing schema confirmation:\n%s", buf.String())
+	}
+}
+
+func TestHotblastSchemaDiffFails(t *testing.T) {
+	ts, _, _ := fakeServe(t)
+	// Baseline demands a series hotblast does not produce.
+	base := filepath.Join(t.TempDir(), "base.json")
+	err := benchfmt.WriteFile(base, &benchfmt.Report{Benchmarks: []benchfmt.Entry{
+		{Name: "ServeSomethingElse", Metrics: map[string]float64{"req/s": 1}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	err = run([]string{"-base", ts.URL, "-duration", "100ms", "-concurrency", "2", "-diff", base}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "ServeSomethingElse") {
+		t.Fatalf("schema regression not surfaced: %v", err)
+	}
+}
+
+func TestHotblastRefusesBrokenServer(t *testing.T) {
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer down.Close()
+	var buf strings.Builder
+	if err := run([]string{"-base", down.URL, "-duration", "100ms"}, &buf); err == nil {
+		t.Fatal("unhealthy server accepted")
+	}
+	// Healthy /healthz but failing /forecast: the warmup must refuse.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status": "ok",
+			"models": []map[string]any{{"model": "RF-F1", "target": "hot-spot", "h": 1, "w": 1}},
+		})
+	})
+	mux.HandleFunc("GET /forecast", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusServiceUnavailable)
+	})
+	sick := httptest.NewServer(mux)
+	defer sick.Close()
+	if err := run([]string{"-base", sick.URL, "-duration", "100ms"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "warmup") {
+		t.Fatalf("failing forecast path not caught at warmup: %v", err)
+	}
+}
+
+func TestHotblastFlagValidation(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-concurrency", "0"}, &buf); err == nil {
+		t.Fatal("zero concurrency accepted")
+	}
+	if err := run([]string{"-duration", "0s"}, &buf); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	lats := make([]time.Duration, 1000)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 500 * time.Millisecond}, {0.99, 990 * time.Millisecond}, {0.999, 999 * time.Millisecond}, {1, 1000 * time.Millisecond}} {
+		if got := quantile(lats, tc.q); got != tc.want {
+			t.Fatalf("quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := quantile(lats[:1], 0.5); got != time.Millisecond {
+		t.Fatalf("single-sample quantile = %v", got)
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+}

@@ -79,7 +79,7 @@ func run(args []string, out io.Writer) error {
 		trees    = fs.Int("trees", 24, "random-forest size")
 		workers  = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		cacheMB  = fs.Int("cache-mb", 256, "feature-matrix cache budget in MiB (0 disables caching)")
-		split    = fs.String("split-algo", "exact", "tree-training split search: exact | hist | auto")
+		split    = fs.String("split-algo", "auto", "tree-training split search: exact | hist | auto")
 		csvPath  = fs.String("csv", "", "also stream sweep records to this CSV file as they complete")
 		modelOut = fs.String("model-out", "", "train the single selected model at the single (t, h, w) and write the artifact here (skips the sweep)")
 		modelIn  = fs.String("model-in", "", "load a trained artifact and predict at each -t instead of training (skips the sweep)")

@@ -55,7 +55,7 @@ func run(args []string, out io.Writer) error {
 		trees     = fs.Int("trees", 4, "forest size")
 		repeats   = fs.Int("repeats", 2, "random rankings per grid point (lift denominator)")
 		workers   = fs.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
-		splitAlgo = fs.String("split-algo", "exact", "tree split algorithm: exact, hist or auto")
+		splitAlgo = fs.String("split-algo", "auto", "tree split algorithm: exact, hist or auto")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

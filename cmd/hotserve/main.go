@@ -399,9 +399,15 @@ type modelInfo struct {
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	set := s.active.Load()
 	infos := make([]modelInfo, len(set.models))
+	var flattened int
+	var flatBytes int64
 	for i, sm := range set.models {
 		infos[i] = modelInfo{Model: sm.tr.ModelName(), Target: sm.tr.Target().String(),
 			H: sm.tr.Horizon(), W: sm.tr.Window(), Cutoff: sm.tr.Cutoff(), Version: sm.version}
+		if fm, ok := sm.tr.(forecast.FlatModel); ok && fm.FlatBytes() > 0 {
+			flattened++
+			flatBytes += fm.FlatBytes()
+		}
 	}
 	body := map[string]any{
 		"status":    "ok",
@@ -410,6 +416,16 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"days":      s.p.Days(),
 		"uptime_ms": time.Since(s.start).Milliseconds(),
 		"models":    infos,
+		// The inference engine's vitals: how many active artifacts serve
+		// through the flat batch engine, its memory footprint, and the
+		// process-wide count of batch evaluations it has run. A zero
+		// batch_calls on a loaded server means predictions are falling
+		// back to the pointer-walking path.
+		"inference": map[string]any{
+			"flattened_models": flattened,
+			"flat_bytes":       flatBytes,
+			"batch_calls":      forecast.BatchPredictCalls(),
+		},
 	}
 	if s.reg != nil {
 		body["mode"] = "registry"

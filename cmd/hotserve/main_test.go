@@ -116,6 +116,22 @@ func TestHealthz(t *testing.T) {
 	if first["model"] != "Average" || first["h"].(float64) != 3 {
 		t.Fatalf("model inventory = %v", first)
 	}
+	// The inference block: the Tree artifact carries a flat engine (the
+	// Average baseline does not), and serving a forecast through it must
+	// move the batch-call counter.
+	inf := body["inference"].(map[string]any)
+	if inf["flattened_models"].(float64) != 1 || inf["flat_bytes"].(float64) <= 0 {
+		t.Fatalf("inference stats = %v", inf)
+	}
+	before := inf["batch_calls"].(float64)
+	if code, fb := get(t, srv, "/forecast?model=Tree&t=30&k=5"); code != http.StatusOK {
+		t.Fatalf("forecast for batch-counter check = %d %v", code, fb)
+	}
+	_, body = get(t, srv, "/healthz")
+	after := body["inference"].(map[string]any)["batch_calls"].(float64)
+	if after < before+1 {
+		t.Fatalf("batch_calls did not advance: %v -> %v", before, after)
+	}
 }
 
 func TestForecastEndpoint(t *testing.T) {

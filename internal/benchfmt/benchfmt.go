@@ -1,0 +1,160 @@
+// Package benchfmt is the shared schema for distilled benchmark results:
+// the JSON shape `cmd/benchjson` emits from `go test -bench` transcripts
+// and `cmd/hotblast` emits from serving load runs. Keeping one package for
+// the shape (and its schema comparator) means every BENCH_*.json artifact
+// in CI is the same machine-readable document, whatever produced it.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	// Name is the benchmark name without the "Benchmark" prefix and the
+	// -procs suffix (e.g. "FitForestHist").
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the run (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is the measured b.N (or request count for load runs).
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every reported pair (ns/op, B/op,
+	// allocs/op, custom units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// String renders an entry for debugging.
+func (e Entry) String() string {
+	return fmt.Sprintf("%s-%d x%d %v", e.Name, e.Procs, e.Iterations, e.Metrics)
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// Parse scans a go-test transcript for benchmark result lines, keeping
+// only names matched by keep (nil keeps everything).
+func Parse(r io.Reader, keep *regexp.Regexp) (*Report, error) {
+	report := &Report{Benchmarks: []Entry{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		entry, ok := ParseLine(sc.Text())
+		if ok && (keep == nil || keep.MatchString(entry.Name)) {
+			report.Benchmarks = append(report.Benchmarks, entry)
+		}
+	}
+	return report, sc.Err()
+}
+
+// ParseLine parses one "BenchmarkName-P  N  value unit [value unit]..."
+// result line; ok is false for anything else.
+func ParseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
+	if cut := strings.LastIndex(name, "-"); cut >= 0 {
+		if p, err := strconv.Atoi(name[cut+1:]); err == nil {
+			procs = p
+			name = name[:cut]
+		}
+	}
+	iterations, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		value, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		metrics[fields[i+1]] = value
+	}
+	if len(metrics) == 0 {
+		return Entry{}, false
+	}
+	return Entry{Name: name, Procs: procs, Iterations: iterations, Metrics: metrics}, true
+}
+
+// WriteFile marshals the report (indented, trailing newline) to path.
+func WriteFile(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report written by WriteFile (or benchjson).
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Schema returns the report's shape: each benchmark name mapped to its
+// sorted metric keys. Values are deliberately absent — schema comparison
+// must never turn perf drift into a failure.
+func (r *Report) Schema() map[string][]string {
+	s := make(map[string][]string, len(r.Benchmarks))
+	for _, e := range r.Benchmarks {
+		keys := make([]string, 0, len(e.Metrics))
+		for k := range e.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		s[e.Name] = keys
+	}
+	return s
+}
+
+// CompareSchema checks that got covers want's shape: every benchmark name
+// in want exists in got with at least want's metric keys. Extra
+// benchmarks or metrics in got are allowed (additive change), and values
+// are never compared — only a vanished series fails, since that silently
+// breaks the perf trajectory the committed baseline anchors.
+func CompareSchema(got, want *Report) error {
+	gs, ws := got.Schema(), want.Schema()
+	var missing []string
+	for name, wantKeys := range ws {
+		gotKeys, ok := gs[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		have := make(map[string]bool, len(gotKeys))
+		for _, k := range gotKeys {
+			have[k] = true
+		}
+		for _, k := range wantKeys {
+			if !have[k] {
+				missing = append(missing, name+"."+k)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("benchfmt: schema regression, baseline series missing from new report: %s",
+			strings.Join(missing, ", "))
+	}
+	return nil
+}

@@ -94,8 +94,8 @@ type Config struct {
 	// ModelCacheBytes bounds the shared trained-model cache
 	// (0 = forecast.DefaultModelCacheBytes, negative disables).
 	ModelCacheBytes int64
-	// SplitAlgo selects the tree-training split search (exact by default;
-	// see forecast.Context.SplitAlgo).
+	// SplitAlgo selects the tree-training split search (auto by default:
+	// hist on large fits, exact on small; see forecast.Context.SplitAlgo).
 	SplitAlgo mltree.SplitAlgo
 }
 

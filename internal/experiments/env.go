@@ -37,8 +37,8 @@ type Scale struct {
 	// CacheBytes bounds the shared feature-matrix cache
 	// (0 = forecast.DefaultCacheBytes, negative disables).
 	CacheBytes int64
-	// SplitAlgo selects the tree-training split search (exact by default;
-	// see forecast.Context.SplitAlgo).
+	// SplitAlgo selects the tree-training split search (auto by default:
+	// hist on large fits, exact on small; see forecast.Context.SplitAlgo).
 	SplitAlgo mltree.SplitAlgo
 }
 

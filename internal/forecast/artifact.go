@@ -3,6 +3,7 @@ package forecast
 import (
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/binenc"
 	"repro/internal/features"
@@ -146,22 +147,71 @@ func (a *baselineArtifact) Predict(c *Context, t, w int) ([]float64, error) {
 
 // classifierArtifact is a fitted tree-based model: the learner plus the
 // feature representation needed to rebuild prediction matrices. Exactly
-// one of tree/forest/gbt is non-nil, matching the kind.
+// one of tree/forest/gbt is non-nil, matching the kind. The flat* twin of
+// the learner is its batched SoA compilation (see mltree/flat.go), built
+// once at Fit or decode by flatten(); Predict serves from it, scoring the
+// whole sector block per tree pass with zero per-sector allocation.
 type classifierArtifact struct {
 	artifactMeta
-	kind      uint8
-	extractor features.Extractor
-	width     int // trained feature-vector length; Predict windows must match
-	tree      *mltree.Tree
-	forest    *mltree.Forest
-	gbt       *mltree.GBT
+	kind       uint8
+	extractor  features.Extractor
+	width      int // trained feature-vector length; Predict windows must match
+	tree       *mltree.Tree
+	forest     *mltree.Forest
+	gbt        *mltree.GBT
+	flatTree   *mltree.FlatTree
+	flatForest *mltree.FlatForest
+	flatGBT    *mltree.FlatGBT
 	// importances of the fit (mean decrease in impurity); nil for GBT.
 	importances []float64
 }
 
+// flatten compiles the learner into the batched inference engine. Called
+// exactly once, at Fit and at decode, so fit-time and decode-time
+// artifacts serve through identical layouts (and the round-trip test pins
+// their scores to each other, bit for bit).
+func (a *classifierArtifact) flatten() {
+	switch {
+	case a.tree != nil:
+		a.flatTree = a.tree.Flatten()
+	case a.forest != nil:
+		a.flatForest = a.forest.Flatten()
+	case a.gbt != nil:
+		a.flatGBT = a.gbt.Flatten()
+	}
+}
+
+// batchPredicts counts flat-engine batch evaluations process-wide, for
+// operator visibility (hotserve /healthz): a nonzero, growing count is
+// the signal that serving rides the fast path.
+var batchPredicts atomic.Uint64
+
+// BatchPredictCalls reports how many flat-engine batch evaluations have
+// served Predict calls in this process.
+func BatchPredictCalls() uint64 { return batchPredicts.Load() }
+
+// FlatModel is implemented by artifacts carrying a compiled batch
+// inference engine; FlatBytes reports its footprint (0 = not flattened).
+type FlatModel interface {
+	FlatBytes() int64
+}
+
+// FlatBytes implements FlatModel.
+func (a *classifierArtifact) FlatBytes() int64 {
+	switch {
+	case a.flatTree != nil:
+		return a.flatTree.FlatBytes()
+	case a.flatForest != nil:
+		return a.flatForest.FlatBytes()
+	case a.flatGBT != nil:
+		return a.flatGBT.FlatBytes()
+	}
+	return 0
+}
+
 // Bytes implements Trained.
 func (a *classifierArtifact) Bytes() int64 {
-	size := int64(160) + int64(len(a.importances))*8
+	size := int64(160) + int64(len(a.importances))*8 + a.FlatBytes()
 	switch {
 	case a.tree != nil:
 		size += a.tree.SizeBytes()
@@ -174,8 +224,11 @@ func (a *classifierArtifact) Bytes() int64 {
 }
 
 // Predict implements Trained: build (or fetch from the feature cache) the
-// all-sector matrix for the window ending at t and run the learner on
-// every row, per Eq. 6.
+// all-sector matrix for the window ending at t and score every row, per
+// Eq. 6 — through the flat batch engine when the artifact carries one
+// (one batch call for the whole sector block), falling back to the walked
+// pointer path with a single reused scratch buffer otherwise. Both paths
+// produce bit-identical scores.
 func (a *classifierArtifact) Predict(c *Context, t, w int) ([]float64, error) {
 	if err := c.CheckPredict(t, w); err != nil {
 		return nil, err
@@ -196,20 +249,49 @@ func (a *classifierArtifact) Predict(c *Context, t, w int) ([]float64, error) {
 	}
 	n := c.Sectors()
 	out := make([]float64, n)
+	switch {
+	case a.flatTree != nil:
+		a.flatTree.ScoreBatch(pmat.Data, n, out)
+	case a.flatForest != nil:
+		a.flatForest.ScoreBatch(pmat.Data, n, out)
+	case a.flatGBT != nil:
+		a.flatGBT.ScoreBatch(pmat.Data, n, out)
+	default:
+		return out, a.predictWalked(pmat.Data, n, out)
+	}
+	batchPredicts.Add(1)
+	return out, nil
+}
+
+// predictWalked is the pointer-chasing fallback (artifacts that were never
+// flattened): per-row descent through the node structs, reusing one
+// scratch probability buffer across the whole block so no per-sector make
+// survives on this path either.
+func (a *classifierArtifact) predictWalked(x []float64, n int, out []float64) error {
+	var probs []float64
+	switch {
+	case a.tree != nil:
+		probs = make([]float64, a.tree.NumClasses)
+	case a.forest != nil:
+		probs = make([]float64, a.forest.NumClasses)
+	case a.gbt != nil:
+		probs = make([]float64, 2)
+	default:
+		return fmt.Errorf("forecast: classifier artifact %s has no learner", a.name)
+	}
 	for i := 0; i < n; i++ {
-		row := pmat.Data[i*a.width : (i+1)*a.width]
+		row := x[i*a.width : (i+1)*a.width]
 		switch {
 		case a.tree != nil:
-			out[i] = a.tree.PredictProba(row)[1]
+			a.tree.PredictProbaInto(row, probs)
 		case a.forest != nil:
-			out[i] = a.forest.PredictProba(row)[1]
-		case a.gbt != nil:
-			out[i] = a.gbt.PredictProba(row)[1]
+			a.forest.PredictProbaInto(row, probs)
 		default:
-			return nil, fmt.Errorf("forecast: classifier artifact %s has no learner", a.name)
+			a.gbt.PredictProbaInto(row, probs)
 		}
+		out[i] = probs[1]
 	}
-	return out, nil
+	return nil
 }
 
 // Importances returns the artifact's feature importances (nil for GBT and
@@ -351,6 +433,7 @@ func DecodeModel(data []byte) (Trained, error) {
 		if learnerFeatures != a.width {
 			return nil, fmt.Errorf("forecast: artifact width %d does not match its learner's %d features", a.width, learnerFeatures)
 		}
+		a.flatten()
 		tr = a
 	default:
 		return nil, fmt.Errorf("forecast: unknown artifact kind %d", kind)

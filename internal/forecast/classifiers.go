@@ -272,6 +272,7 @@ func (m *ClassifierModel) Fit(c *Context, target Target, t, h, w int) (Trained, 
 		art.forest = forest
 		art.importances = forest.Importances()
 	}
+	art.flatten()
 	return art, nil
 }
 

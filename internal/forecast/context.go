@@ -84,13 +84,15 @@ type Context struct {
 	// Reconfigure only between sweeps, never while one is running.
 	ModelCacheBytes int64
 	// SplitAlgo selects the tree-training split search for the classifier
-	// and GBT models: SplitExact (the default) is the sort-based CART
-	// search, bit-identical to every pre-knob record; SplitHist quantizes
-	// training matrices into <=256 bins (cached beside the float matrices,
-	// one quantization per training build) and scans O(bins) boundaries
-	// per candidate feature; SplitAuto resolves per fit, picking hist when
-	// the root-split work clears the engine's threshold. Hist fits are
-	// deterministic at any worker count but not bit-identical to exact
+	// and GBT models: SplitAuto (the default) resolves per fit, picking
+	// hist when the root-split work clears the engine's threshold and
+	// exact below it — so small fits stay bit-identical to the historical
+	// records while large ones get the fast engine; SplitExact forces the
+	// sort-based CART search, bit-identical to every pre-knob record at
+	// any scale; SplitHist forces quantized training matrices (<=256 bins,
+	// cached beside the float matrices, one quantization per training
+	// build) with O(bins) boundary scans per candidate feature. Hist fits
+	// are deterministic at any worker count but not bit-identical to exact
 	// ones (thresholds are quantized); accuracy parity is enforced by the
 	// tiny-scale sweep tests.
 	SplitAlgo mltree.SplitAlgo

@@ -1,0 +1,156 @@
+package forecast
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// flatModels returns one model per classifier kind (tree, forest, GBT),
+// thinned for test speed.
+func flatModels() []Model {
+	gbt := NewGBT()
+	gbt.Config.Rounds = 8
+	return []Model{NewTreeModel(), NewRFR(), gbt}
+}
+
+// TestArtifactFlatMatchesWalked: Predict through the flat batch engine
+// must be bit-identical to the walked pointer fallback for every
+// classifier kind. The walked path is reached by clearing the flat twins
+// on a copy of the artifact.
+func TestArtifactFlatMatchesWalked(t *testing.T) {
+	c := testContext(t, 120, 8, 41)
+	c.ForestTrees = 6
+	const fitT, h, w = 30, 2, 5
+	for _, m := range flatModels() {
+		tr, err := m.Fit(c, BeHot, fitT, h, w)
+		if err != nil {
+			t.Fatalf("%s: fit: %v", m.Name(), err)
+		}
+		ca, ok := tr.(*classifierArtifact)
+		if !ok {
+			t.Fatalf("%s: fit returned %T, want classifier artifact", m.Name(), tr)
+		}
+		if ca.FlatBytes() <= 0 {
+			t.Fatalf("%s: artifact not flattened at fit", m.Name())
+		}
+		before := BatchPredictCalls()
+		flat, err := ca.Predict(c, fitT, w)
+		if err != nil {
+			t.Fatalf("%s: flat predict: %v", m.Name(), err)
+		}
+		if BatchPredictCalls() != before+1 {
+			t.Fatalf("%s: flat predict did not count a batch call", m.Name())
+		}
+		walkedArt := *ca
+		walkedArt.flatTree, walkedArt.flatForest, walkedArt.flatGBT = nil, nil, nil
+		if walkedArt.FlatBytes() != 0 {
+			t.Fatalf("%s: cleared artifact still reports flat bytes", m.Name())
+		}
+		walked, err := walkedArt.Predict(c, fitT, w)
+		if err != nil {
+			t.Fatalf("%s: walked predict: %v", m.Name(), err)
+		}
+		if len(flat) != len(walked) || len(flat) != c.Sectors() {
+			t.Fatalf("%s: shape mismatch: flat %d walked %d sectors %d", m.Name(), len(flat), len(walked), c.Sectors())
+		}
+		for i := range flat {
+			if flat[i] != walked[i] {
+				t.Fatalf("%s: sector %d: flat %v, walked %v", m.Name(), i, flat[i], walked[i])
+			}
+		}
+	}
+}
+
+// TestArtifactFlatRoundTrip: decode rebuilds the flat engine (the .hotm
+// envelope never carries it), with the same footprint and bit-identical
+// scores — decode-time flattening can never drift from fit-time
+// flattening.
+func TestArtifactFlatRoundTrip(t *testing.T) {
+	c := testContext(t, 100, 8, 43)
+	c.ForestTrees = 5
+	const fitT, h, w = 30, 3, 5
+	for _, m := range flatModels() {
+		tr, err := m.Fit(c, BecomeHot, fitT, h, w)
+		if err != nil {
+			t.Fatalf("%s: fit: %v", m.Name(), err)
+		}
+		data, err := EncodeModel(tr)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", m.Name(), err)
+		}
+		got, err := DecodeModel(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Name(), err)
+		}
+		fitArt := tr.(*classifierArtifact)
+		decArt, ok := got.(*classifierArtifact)
+		if !ok {
+			t.Fatalf("%s: decode returned %T", m.Name(), got)
+		}
+		if decArt.FlatBytes() != fitArt.FlatBytes() || decArt.FlatBytes() <= 0 {
+			t.Fatalf("%s: flat footprint drifted across round trip: fit %d, decoded %d",
+				m.Name(), fitArt.FlatBytes(), decArt.FlatBytes())
+		}
+		if got.Bytes() <= decArt.FlatBytes() {
+			t.Fatalf("%s: Bytes() %d does not budget the flat engine (%d)", m.Name(), got.Bytes(), decArt.FlatBytes())
+		}
+		want, err := tr.Predict(c, fitT, w)
+		if err != nil {
+			t.Fatalf("%s: predict: %v", m.Name(), err)
+		}
+		have, err := got.Predict(c, fitT, w)
+		if err != nil {
+			t.Fatalf("%s: decoded predict: %v", m.Name(), err)
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("%s: sector %d: %v != %v after round trip", m.Name(), i, want[i], have[i])
+			}
+		}
+	}
+}
+
+// TestArtifactFlatConcurrentPredict: the flat engine is read-only after
+// Flatten, so one artifact must serve concurrent Predict calls (as
+// hotserve does) without races or score divergence. Run under -race.
+func TestArtifactFlatConcurrentPredict(t *testing.T) {
+	c := testContext(t, 100, 8, 47)
+	c.ForestTrees = 5
+	const fitT, h, w = 30, 2, 5
+	m := NewRFR()
+	tr, err := m.Fit(c, BeHot, fitT, h, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.Predict(c, fitT, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				got, err := tr.Predict(c, fitT, w)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						errs <- fmt.Errorf("sector %d: concurrent predict %v, want %v", i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -90,7 +90,9 @@ func (m *GBTModel) Fit(c *Context, target Target, t, h, w int) (Trained, error) 
 			return nil, fmt.Errorf("forecast: fitting GBT: %w", err)
 		}
 	}
-	return &classifierArtifact{artifactMeta: meta, kind: kindGBT, extractor: m.Extractor, width: width, gbt: g}, nil
+	art := &classifierArtifact{artifactMeta: meta, kind: kindGBT, extractor: m.Extractor, width: width, gbt: g}
+	art.flatten()
+	return art, nil
 }
 
 // Forecast implements Model: the Fit+Predict shim, with fits served from

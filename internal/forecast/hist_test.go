@@ -123,8 +123,9 @@ func TestSweepHistDeterministic(t *testing.T) {
 }
 
 // TestSweepAutoResolvesExactOnTinyGrids: on tiny training sets the auto
-// knob must land on the exact engine (the work estimate sits below the
-// hist threshold), keeping records bit-identical to the exact default.
+// knob (now the default) must land on the exact engine (the work estimate
+// sits below the hist threshold), keeping small-scale records
+// bit-identical to the historical exact-by-default ones.
 func TestSweepAutoResolvesExactOnTinyGrids(t *testing.T) {
 	c := testContext(t, 100, 10, 29)
 	c.ForestTrees = 4

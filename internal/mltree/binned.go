@@ -40,16 +40,21 @@ import (
 // SplitAlgo selects the split-search strategy for tree training.
 type SplitAlgo uint8
 
-// Split-search strategies. The zero value is SplitExact so every existing
-// call site keeps the sort-based search and stays bit-identical.
+// Split-search strategies. The zero value is SplitAuto: callers that never
+// set the knob get the histogram engine on large fits and the exact search
+// on small ones. Below histThreshold auto resolves to exact, so tiny fits
+// (including most test-scale ones) stay bit-identical to the historical
+// sort-based path; SplitExact remains reachable everywhere the knob is
+// exposed for strict reproduction of pre-hist results at any scale.
 const (
-	// SplitExact is the sort-based CART search (bit-compatible default).
-	SplitExact SplitAlgo = iota
-	// SplitHist quantizes features into bins and scans bin boundaries.
-	SplitHist
 	// SplitAuto picks SplitHist when the estimated root-split work clears
 	// histThreshold (cf. presortThreshold) and SplitExact below it.
-	SplitAuto
+	SplitAuto SplitAlgo = iota
+	// SplitExact is the sort-based CART search (bit-compatible with the
+	// historical fits at every scale).
+	SplitExact
+	// SplitHist quantizes features into bins and scans bin boundaries.
+	SplitHist
 )
 
 // histThreshold is the work level (candidate features x instances) above

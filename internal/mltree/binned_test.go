@@ -376,4 +376,10 @@ func TestSplitAlgoParseAndResolve(t *testing.T) {
 	if SplitExact.Resolve(1<<30) != SplitExact || SplitHist.Resolve(0) != SplitHist {
 		t.Fatal("explicit algos must not auto-resolve")
 	}
+	// The zero value is the default every un-set knob gets: auto, which
+	// resolves to exact on tiny fits and hist on large ones.
+	var def SplitAlgo
+	if def != SplitAuto || def.String() != "auto" {
+		t.Fatalf("zero-value SplitAlgo is %v, want auto", def)
+	}
 }

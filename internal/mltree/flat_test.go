@@ -1,0 +1,251 @@
+package mltree
+
+import (
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// flatTestData builds a random training set with a signal in the first
+// features, plus a disjoint evaluation block drawn from the same
+// distribution.
+func flatTestData(seed uint64, n, f int) (x []float64, y []int, eval []float64) {
+	rng := randx.New(seed, 0xf1a7)
+	x = make([]float64, n*f)
+	y = make([]int, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < f; j++ {
+			v := rng.Norm(0, 1)
+			x[i*f+j] = v
+			if j < 3 {
+				s += v
+			}
+		}
+		if s > 0 {
+			y[i] = 1
+		}
+	}
+	eval = make([]float64, n*f)
+	for i := range eval {
+		eval[i] = rng.Norm(0, 1)
+	}
+	return x, y, eval
+}
+
+func TestFlatTreeMatchesWalked(t *testing.T) {
+	for _, algo := range []SplitAlgo{SplitExact, SplitHist} {
+		x, y, eval := flatTestData(uint64(3+algo), 400, 12)
+		cfg := TreeConfig()
+		cfg.Algo = algo
+		tree, err := FitTree(x, 400, 12, y, nil, 2, cfg, randx.New(7, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft := tree.Flatten()
+		if ft.FlatBytes() <= 0 {
+			t.Fatal("flat tree reports no bytes")
+		}
+		n := 400
+		probs := make([]float64, n*2)
+		scores := make([]float64, n)
+		ft.PredictProbaBatch(eval, n, probs)
+		ft.ScoreBatch(eval, n, scores)
+		want := make([]float64, 2)
+		for i := 0; i < n; i++ {
+			tree.PredictProbaInto(eval[i*12:(i+1)*12], want)
+			if probs[i*2] != want[0] || probs[i*2+1] != want[1] {
+				t.Fatalf("algo %v row %d: flat %v, walked %v", algo, i, probs[i*2:i*2+2], want)
+			}
+			if scores[i] != want[1] {
+				t.Fatalf("algo %v row %d: score %v, walked %v", algo, i, scores[i], want[1])
+			}
+		}
+	}
+}
+
+func TestFlatForestMatchesWalked(t *testing.T) {
+	x, y, eval := flatTestData(11, 500, 10)
+	cfg := DefaultForestConfig()
+	cfg.NumTrees = 9
+	fo, err := FitForest(x, 500, 10, y, nil, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := fo.Flatten()
+	if ff.NumTrees() != 9 || ff.FlatBytes() <= 0 {
+		t.Fatalf("flat forest shape: trees %d bytes %d", ff.NumTrees(), ff.FlatBytes())
+	}
+	n := 500
+	probs := make([]float64, n*2)
+	scores := make([]float64, n)
+	ff.PredictProbaBatch(eval, n, probs)
+	ff.ScoreBatch(eval, n, scores)
+	want := make([]float64, 2)
+	for i := 0; i < n; i++ {
+		fo.PredictProbaInto(eval[i*10:(i+1)*10], want)
+		if probs[i*2] != want[0] || probs[i*2+1] != want[1] {
+			t.Fatalf("row %d: flat %v, walked %v", i, probs[i*2:i*2+2], want)
+		}
+		if scores[i] != want[1] {
+			t.Fatalf("row %d: score %v, walked probs[1] %v", i, scores[i], want[1])
+		}
+		// The Into path must also agree with the allocating historical one.
+		if legacy := fo.PredictProba(eval[i*10 : (i+1)*10]); legacy[0] != want[0] || legacy[1] != want[1] {
+			t.Fatalf("row %d: PredictProbaInto %v, PredictProba %v", i, want, legacy)
+		}
+	}
+}
+
+func TestFlatGBTMatchesWalked(t *testing.T) {
+	x, y, eval := flatTestData(23, 600, 8)
+	cfg := DefaultGBTConfig()
+	cfg.Rounds = 12
+	g, err := FitGBT(x, 600, 8, y, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := g.Flatten()
+	if fg.Rounds() != 12 || fg.FlatBytes() <= 0 {
+		t.Fatalf("flat GBT shape: rounds %d bytes %d", fg.Rounds(), fg.FlatBytes())
+	}
+	n := 600
+	raw := make([]float64, n)
+	probs := make([]float64, n*2)
+	scores := make([]float64, n)
+	fg.RawBatch(eval, n, raw)
+	fg.PredictProbaBatch(eval, n, probs)
+	fg.ScoreBatch(eval, n, scores)
+	want := make([]float64, 2)
+	for i := 0; i < n; i++ {
+		row := eval[i*8 : (i+1)*8]
+		if got := g.Raw(row); raw[i] != got {
+			t.Fatalf("row %d: flat raw %v, walked %v", i, raw[i], got)
+		}
+		g.PredictProbaInto(row, want)
+		if probs[i*2] != want[0] || probs[i*2+1] != want[1] {
+			t.Fatalf("row %d: flat %v, walked %v", i, probs[i*2:i*2+2], want)
+		}
+		if scores[i] != want[1] {
+			t.Fatalf("row %d: score %v, walked probs[1] %v", i, scores[i], want[1])
+		}
+	}
+}
+
+func TestFlatRegressionTreeMatchesWalked(t *testing.T) {
+	x, _, eval := flatTestData(31, 400, 6)
+	targets := make([]float64, 400)
+	for i := range targets {
+		targets[i] = x[i*6] + 0.5*x[i*6+1]
+	}
+	cfg := RegressionConfig{MaxDepth: 5, MinSamplesLeaf: 4}
+	rt, err := FitRegressionTree(x, 400, 6, targets, nil, cfg, randx.New(9, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frt := rt.Flatten()
+	if frt.FlatBytes() <= 0 {
+		t.Fatal("flat regression tree reports no bytes")
+	}
+	out := make([]float64, 400)
+	frt.PredictBatch(eval, 400, out)
+	for i := 0; i < 400; i++ {
+		if got := rt.Predict(eval[i*6 : (i+1)*6]); out[i] != got {
+			t.Fatalf("row %d: flat %v, walked %v", i, out[i], got)
+		}
+	}
+}
+
+// TestFlatSingleLeaf exercises the degenerate encoding: a tree that never
+// splits has no internal nodes and its root code is itself a leaf code.
+func TestFlatSingleLeaf(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []int{0, 0, 0} // pure labels: the root is a leaf
+	tree, err := FitTree(x, 3, 2, y, nil, 2, TreeConfig(), randx.New(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NodeCount() != 1 {
+		t.Fatalf("expected a single-leaf tree, got %d nodes", tree.NodeCount())
+	}
+	ft := tree.Flatten()
+	probs := make([]float64, 3*2)
+	ft.PredictProbaBatch(x, 3, probs)
+	want := make([]float64, 2)
+	for i := 0; i < 3; i++ {
+		tree.PredictProbaInto(x[i*2:(i+1)*2], want)
+		if probs[i*2] != want[0] || probs[i*2+1] != want[1] {
+			t.Fatalf("row %d: flat %v, walked %v", i, probs[i*2:i*2+2], want)
+		}
+	}
+
+	targets := []float64{5, 5, 5} // constant target: no gain, single leaf
+	rt, err := FitRegressionTree(x, 3, 2, targets, nil, RegressionConfig{}, randx.New(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.LeafCount() != 1 {
+		t.Fatalf("expected a single-leaf regression tree, got %d leaves", rt.LeafCount())
+	}
+	out := make([]float64, 3)
+	rt.Flatten().PredictBatch(x, 3, out)
+	for i, v := range out {
+		if got := rt.Predict(x[i*2 : (i+1)*2]); v != got {
+			t.Fatalf("row %d: flat %v, walked %v", i, v, got)
+		}
+	}
+}
+
+// TestFlatBatchChunkEquality: scoring a block in chunks of 1, 7 and n must
+// write exactly the bytes the one-shot batch writes — batch size can never
+// change a score.
+func TestFlatBatchChunkEquality(t *testing.T) {
+	x, y, eval := flatTestData(41, 300, 9)
+	cfg := DefaultForestConfig()
+	cfg.NumTrees = 5
+	fo, err := FitForest(x, 300, 9, y, nil, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := fo.Flatten()
+	n, f := 300, 9
+	full := make([]float64, n*2)
+	ff.PredictProbaBatch(eval, n, full)
+	for _, chunk := range []int{1, 7, n} {
+		got := make([]float64, n*2)
+		for start := 0; start < n; start += chunk {
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			ff.PredictProbaBatch(eval[start*f:end*f], end-start, got[start*2:end*2])
+		}
+		for i := range full {
+			if got[i] != full[i] {
+				t.Fatalf("chunk %d: value %d is %v, full batch %v", chunk, i, got[i], full[i])
+			}
+		}
+	}
+}
+
+func TestFlatBatchShapePanics(t *testing.T) {
+	x, y, _ := flatTestData(51, 100, 4)
+	tree, err := FitTree(x, 100, 4, y, nil, 2, TreeConfig(), randx.New(5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := tree.Flatten()
+	for name, call := range map[string]func(){
+		"short x":   func() { ft.PredictProbaBatch(x[:7], 2, make([]float64, 4)) },
+		"short out": func() { ft.PredictProbaBatch(x[:8], 2, make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}

@@ -171,8 +171,16 @@ func sigmoid(x float64) float64 {
 
 // PredictProba returns [P(class 0), P(class 1)] for one instance.
 func (g *GBT) PredictProba(x []float64) []float64 {
+	out := make([]float64, 2)
+	g.PredictProbaInto(x, out)
+	return out
+}
+
+// PredictProbaInto writes [P(class 0), P(class 1)] into out (len 2)
+// without allocating.
+func (g *GBT) PredictProbaInto(x, out []float64) {
 	p := sigmoid(g.Raw(x))
-	return []float64{1 - p, p}
+	out[0], out[1] = 1-p, p
 }
 
 // Raw returns the margin F(x) (log-odds scale).

@@ -45,9 +45,10 @@ type Config struct {
 	MaxDepth int
 	// MinImpurityDecrease skips splits with negligible improvement.
 	MinImpurityDecrease float64
-	// Algo selects the split search: SplitExact (default, sort-based,
-	// bit-compatible), SplitHist (histogram-binned O(bins) scan), or
-	// SplitAuto (hist above histThreshold of root-split work).
+	// Algo selects the split search: SplitAuto (default; hist above
+	// histThreshold of root-split work, exact below), SplitExact
+	// (sort-based, bit-compatible at any scale), or SplitHist
+	// (histogram-binned O(bins) scan).
 	Algo SplitAlgo
 }
 
@@ -668,18 +669,42 @@ func FitForest(x []float64, n, f int, y []int, w []float64, numClasses int, cfg 
 // PredictProba averages class probabilities over the ensemble.
 func (fo *Forest) PredictProba(x []float64) []float64 {
 	out := make([]float64, fo.NumClasses)
-	tmp := make([]float64, fo.NumClasses)
+	fo.PredictProbaInto(x, out)
+	return out
+}
+
+// PredictProbaInto writes the ensemble-averaged class probabilities into
+// out (len NumClasses) without allocating: each tree's leaf probabilities
+// accumulate straight from its node table, in ensemble order, so the
+// result is bit-identical to the historical copy-then-add path.
+func (fo *Forest) PredictProbaInto(x, out []float64) {
+	if len(x) != fo.NumFeatures {
+		panic(fmt.Sprintf("mltree: instance has %d features, forest expects %d", len(x), fo.NumFeatures))
+	}
+	for c := range out {
+		out[c] = 0
+	}
 	for _, t := range fo.Trees {
-		t.PredictProbaInto(x, tmp)
-		for c := range out {
-			out[c] += tmp[c]
+		cur := int32(0)
+		for {
+			nd := &t.nodes[cur]
+			if nd.feature < 0 {
+				for c, p := range nd.probs {
+					out[c] += p
+				}
+				break
+			}
+			if x[nd.feature] <= nd.threshold {
+				cur = nd.left
+			} else {
+				cur = nd.right
+			}
 		}
 	}
 	inv := 1.0 / float64(len(fo.Trees))
 	for c := range out {
 		out[c] *= inv
 	}
-	return out
 }
 
 // Importances averages the trees' normalised feature importances.
