@@ -26,11 +26,16 @@
 //
 //	hotforecast -models RF-F1 -t 60 -h 7 -w 7 -registry ./models  # fit + publish
 //	hotforecast -registry ./models -prune 3                        # keep 3 newest/task
+//	hotforecast -registry ./models -prune-max-age 720h             # drop versions >30d old
+//	hotforecast -registry ./models -prune-max-bytes 104857600      # fit a 100 MiB budget
 //
 // -registry with a model selection trains like -model-out but publishes
 // the artifact as the new latest version of its task, which a running
 // hotserve -registry picks up on its next reload. -registry with only
-// -prune drops all but the newest -prune versions of every task.
+// prune criteria garbage-collects: -prune keeps the newest N per task,
+// -prune-max-age drops stale versions, -prune-max-bytes evicts oldest
+// versions until the registry fits the byte budget; criteria compose, and
+// each task's latest version is never dropped.
 package main
 
 import (
@@ -83,8 +88,10 @@ func run(args []string, out io.Writer) error {
 		csvPath  = fs.String("csv", "", "also stream sweep records to this CSV file as they complete")
 		modelOut = fs.String("model-out", "", "train the single selected model at the single (t, h, w) and write the artifact here (skips the sweep)")
 		modelIn  = fs.String("model-in", "", "load a trained artifact and predict at each -t instead of training (skips the sweep)")
-		regDir   = fs.String("registry", "", "model-registry directory: train like -model-out but publish as a new version (or just -prune)")
+		regDir   = fs.String("registry", "", "model-registry directory: train like -model-out but publish as a new version (or just prune)")
 		prune    = fs.Int("prune", 0, "with -registry: keep only the newest N versions of every task")
+		pruneAge = fs.Duration("prune-max-age", 0, "with -registry: also drop versions published longer than this ago (latest per task always kept)")
+		pruneMax = fs.Int64("prune-max-bytes", 0, "with -registry: also drop oldest versions until total artifact bytes fit this budget (latest per task always kept)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,28 +118,30 @@ func run(args []string, out io.Writer) error {
 	if *regDir != "" && (*modelOut != "" || *modelIn != "") {
 		return fmt.Errorf("-registry is mutually exclusive with -model-out/-model-in")
 	}
-	if *prune != 0 && *regDir == "" {
-		return fmt.Errorf("-prune needs -registry")
+	pruneOpts := registry.PruneOpts{KeepN: *prune, MaxAge: *pruneAge, MaxTotalBytes: *pruneMax}
+	wantPrune := pruneOpts != (registry.PruneOpts{})
+	if wantPrune && *regDir == "" {
+		return fmt.Errorf("-prune/-prune-max-age/-prune-max-bytes need -registry")
 	}
-	if *prune < 0 {
-		return fmt.Errorf("-prune must keep at least 1 version, got %d", *prune)
+	if *prune < 0 || *pruneAge < 0 || *pruneMax < 0 {
+		return fmt.Errorf("prune criteria must be non-negative")
 	}
 
 	// Standalone prune touches only the registry — no pipeline needed.
 	if *regDir != "" && *models == "" {
-		if *prune < 1 {
-			return fmt.Errorf("-registry without -models publishes nothing: pass -models to train+publish or -prune to prune")
+		if !wantPrune {
+			return fmt.Errorf("-registry without -models publishes nothing: pass -models to train+publish or a prune criterion to prune")
 		}
 		reg, err := registry.Open(*regDir, -1)
 		if err != nil {
 			return err
 		}
-		dropped, err := reg.Prune(*prune)
+		dropped, err := reg.PruneWith(pruneOpts)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "pruned %d version(s) from %s, keeping the newest %d per task\n",
-			len(dropped), *regDir, *prune)
+		fmt.Fprintf(out, "pruned %d version(s) from %s (%s)\n",
+			len(dropped), *regDir, describePrune(pruneOpts))
 		return nil
 	}
 
@@ -176,7 +185,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-registry publishes one artifact: pass exactly one -models entry, one -t and one -h (got %d/%d/%d)",
 				len(modelSet), len(ts), len(hs))
 		}
-		return trainToRegistry(p, modelSet[0], tgt, ts[0], hs[0], *wFlag, *regDir, *prune, out)
+		return trainToRegistry(p, modelSet[0], tgt, ts[0], hs[0], *wFlag, *regDir, pruneOpts, out)
 	}
 
 	if len(ts)*len(hs) > 1 {
@@ -272,7 +281,7 @@ func trainToArtifact(p *core.Pipeline, m forecast.Model, tgt forecast.Target, t,
 // trainToRegistry is the -registry publish mode: fit one model at one task
 // and publish it as the new latest version, optionally pruning old
 // versions afterwards.
-func trainToRegistry(p *core.Pipeline, m forecast.Model, tgt forecast.Target, t, h, w int, dir string, prune int, out io.Writer) error {
+func trainToRegistry(p *core.Pipeline, m forecast.Model, tgt forecast.Target, t, h, w int, dir string, prune registry.PruneOpts, out io.Writer) error {
 	reg, err := registry.Open(dir, -1)
 	if err != nil {
 		return err
@@ -291,14 +300,29 @@ func trainToRegistry(p *core.Pipeline, m forecast.Model, tgt forecast.Target, t,
 		tr.ModelName(), tr.Target(), t, h, w, tr.Cutoff(), time.Since(start).Round(time.Millisecond))
 	fmt.Fprintf(out, "published version %d (%s, %d bytes) to %s; serve it with: hotserve -registry %s\n",
 		v.ID, v.File, v.SizeBytes, dir, dir)
-	if prune > 0 {
-		dropped, err := reg.Prune(prune)
+	if prune != (registry.PruneOpts{}) {
+		dropped, err := reg.PruneWith(prune)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "pruned %d version(s), keeping the newest %d per task\n", len(dropped), prune)
+		fmt.Fprintf(out, "pruned %d version(s) (%s)\n", len(dropped), describePrune(prune))
 	}
 	return nil
+}
+
+// describePrune renders the active GC criteria for operator output.
+func describePrune(o registry.PruneOpts) string {
+	var parts []string
+	if o.KeepN > 0 {
+		parts = append(parts, fmt.Sprintf("keeping the newest %d per task", o.KeepN))
+	}
+	if o.MaxAge > 0 {
+		parts = append(parts, fmt.Sprintf("max age %v", o.MaxAge))
+	}
+	if o.MaxTotalBytes > 0 {
+		parts = append(parts, fmt.Sprintf("byte budget %d", o.MaxTotalBytes))
+	}
+	return strings.Join(parts, ", ")
 }
 
 // predictFromArtifact is the -model-in mode: score each requested t from

@@ -394,19 +394,49 @@ type modelInfo struct {
 	W       int    `json:"w"`
 	Cutoff  int    `json:"cutoff"`
 	Version int    `json:"version,omitempty"`
+	// Descent is the flat engine's batch kernel for this artifact: "binned"
+	// (quantized uint8 codes) or "float" (raw key compares); absent for
+	// baselines, which have no descent at all.
+	Descent string `json:"descent,omitempty"`
+	// MmapBytes is the size of the memory-mapped artifact file this model
+	// serves from (zero-copy load); 0 when the model is heap-resident.
+	MmapBytes int64 `json:"mmap_bytes,omitempty"`
+}
+
+// descentModel is implemented by artifacts that expose their inference
+// kernel and residency (forecast's classifier artifacts).
+type descentModel interface {
+	DescentMode() string
+	MmapBytes() int64
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	set := s.active.Load()
 	infos := make([]modelInfo, len(set.models))
-	var flattened int
-	var flatBytes int64
+	var flattened, binned, mapped int
+	var flatBytes, mmapBytes int64
+	var heapBytes int64
 	for i, sm := range set.models {
 		infos[i] = modelInfo{Model: sm.tr.ModelName(), Target: sm.tr.Target().String(),
 			H: sm.tr.Horizon(), W: sm.tr.Window(), Cutoff: sm.tr.Cutoff(), Version: sm.version}
+		fb := int64(0)
 		if fm, ok := sm.tr.(forecast.FlatModel); ok && fm.FlatBytes() > 0 {
 			flattened++
-			flatBytes += fm.FlatBytes()
+			fb = fm.FlatBytes()
+			flatBytes += fb
+		}
+		if dm, ok := sm.tr.(descentModel); ok {
+			infos[i].Descent = dm.DescentMode()
+			infos[i].MmapBytes = dm.MmapBytes()
+			if dm.DescentMode() == "binned" {
+				binned++
+			}
+			if dm.MmapBytes() > 0 {
+				mapped++
+				mmapBytes += dm.MmapBytes()
+			} else {
+				heapBytes += fb
+			}
 		}
 	}
 	body := map[string]any{
@@ -417,13 +447,22 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_ms": time.Since(s.start).Milliseconds(),
 		"models":    infos,
 		// The inference engine's vitals: how many active artifacts serve
-		// through the flat batch engine, its memory footprint, and the
-		// process-wide count of batch evaluations it has run. A zero
-		// batch_calls on a loaded server means predictions are falling
-		// back to the pointer-walking path.
+		// through the flat batch engine (and how many of those descend on
+		// quantized bin codes), their memory split between mmap-backed
+		// pages and heap-resident structures, and the process-wide count
+		// of batch evaluations. A zero batch_calls on a loaded server
+		// means predictions are falling back to the pointer-walking path.
+		// mmap_bytes is artifact data served from the page cache (mapped
+		// files); heap_flat_bytes is the flat footprint of heap-resident
+		// classifiers; flat_bytes is every engine's full in-memory
+		// accounting regardless of residency.
 		"inference": map[string]any{
 			"flattened_models": flattened,
+			"binned_models":    binned,
+			"mmap_models":      mapped,
 			"flat_bytes":       flatBytes,
+			"mmap_bytes":       mmapBytes,
+			"heap_flat_bytes":  heapBytes,
 			"batch_calls":      forecast.BatchPredictCalls(),
 		},
 	}

@@ -116,12 +116,28 @@ func TestHealthz(t *testing.T) {
 	if first["model"] != "Average" || first["h"].(float64) != 3 {
 		t.Fatalf("model inventory = %v", first)
 	}
+	// Per-model descent mode: the Tree artifact descends (binned or
+	// float), the Average baseline has no engine and omits the field.
+	if d, ok := first["descent"]; ok {
+		t.Fatalf("baseline reports a descent mode: %v", d)
+	}
+	second := models[1].(map[string]any)
+	if d := second["descent"]; d != "binned" && d != "float" {
+		t.Fatalf("classifier descent mode = %v", d)
+	}
 	// The inference block: the Tree artifact carries a flat engine (the
 	// Average baseline does not), and serving a forecast through it must
-	// move the batch-call counter.
+	// move the batch-call counter. Static-mode artifacts live on the heap,
+	// so nothing is mmap-backed here.
 	inf := body["inference"].(map[string]any)
 	if inf["flattened_models"].(float64) != 1 || inf["flat_bytes"].(float64) <= 0 {
 		t.Fatalf("inference stats = %v", inf)
+	}
+	if inf["mmap_models"].(float64) != 0 || inf["mmap_bytes"].(float64) != 0 {
+		t.Fatalf("static artifacts claim mmap backing: %v", inf)
+	}
+	if inf["heap_flat_bytes"].(float64) != inf["flat_bytes"].(float64) {
+		t.Fatalf("heap accounting disagrees with flat_bytes: %v", inf)
 	}
 	before := inf["batch_calls"].(float64)
 	if code, fb := get(t, srv, "/forecast?model=Tree&t=30&k=5"); code != http.StatusOK {
@@ -131,6 +147,52 @@ func TestHealthz(t *testing.T) {
 	after := body["inference"].(map[string]any)["batch_calls"].(float64)
 	if after < before+1 {
 		t.Fatalf("batch_calls did not advance: %v -> %v", before, after)
+	}
+}
+
+// TestHealthzMmapRegistry: a classifier served out of a registry is
+// loaded through the mmap path, so /healthz must report it as
+// mmap-backed with a descent mode, and forecasts must still serve.
+func TestHealthzMmapRegistry(t *testing.T) {
+	p := testPipeline(t)
+	dir := t.TempDir()
+	pub, err := registry.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := p.Train(core.Tree, forecast.BeHot, 30, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(tree); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(p, 8)
+	reg, err := registry.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.attachRegistry(reg); err != nil {
+		t.Fatal(err)
+	}
+	_, body := get(t, srv, "/healthz")
+	m := body["models"].([]any)[0].(map[string]any)
+	if d := m["descent"]; d != "binned" && d != "float" {
+		t.Fatalf("registry classifier descent mode = %v", d)
+	}
+	inf := body["inference"].(map[string]any)
+	if inf["mmap_models"].(float64) != 1 || inf["mmap_bytes"].(float64) <= 0 {
+		t.Fatalf("registry artifact not mmap-backed: %v", inf)
+	}
+	if m["mmap_bytes"].(float64) != inf["mmap_bytes"].(float64) {
+		t.Fatalf("per-model mmap bytes disagree with totals: %v vs %v", m, inf)
+	}
+	// A mapped artifact contributes nothing to the heap-resident tally.
+	if inf["heap_flat_bytes"].(float64) != 0 {
+		t.Fatalf("mapped artifact counted as heap-resident: %v", inf)
+	}
+	if code, fb := get(t, srv, "/forecast?model=Tree&t=30&k=5"); code != http.StatusOK {
+		t.Fatalf("forecast through mmap-backed artifact = %d %v", code, fb)
 	}
 }
 

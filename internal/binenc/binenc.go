@@ -11,7 +11,20 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"unsafe"
 )
+
+// nativeLittle reports whether this host's byte order is little-endian —
+// the artifact wire order. When it is (every platform this repo targets),
+// the zero-copy readers below can alias raw sections instead of copying.
+var nativeLittle = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// NativeLittle reports whether this host matches the artifact wire
+// order, for callers that alias raw sections with their own layouts.
+func NativeLittle() bool { return nativeLittle }
 
 // AppendU8 appends one byte.
 func AppendU8(b []byte, v uint8) []byte { return append(b, v) }
@@ -44,6 +57,61 @@ func AppendF64s(b []byte, vs []float64) []byte {
 	b = AppendU32(b, uint32(len(vs)))
 	for _, v := range vs {
 		b = AppendF64(b, v)
+	}
+	return b
+}
+
+// AppendAlign8 zero-pads b to the next multiple of 8 bytes. Offsets are
+// measured from the buffer's start, so when the buffer is a whole
+// artifact file (offset 0 = file byte 0, and an mmap base is page
+// aligned) the section that follows is 8-byte aligned in memory.
+func AppendAlign8(b []byte) []byte {
+	for len(b)%8 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// AppendU64sRaw appends a u32 count, alignment padding to the next
+// 8-byte boundary, and the values as raw little-endian words — the
+// layout Reader.U64sZeroCopy reads back without copying.
+func AppendU64sRaw(b []byte, vs []uint64) []byte {
+	b = AppendU32(b, uint32(len(vs)))
+	b = AppendAlign8(b)
+	if nativeLittle && len(vs) > 0 {
+		return append(b, unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(vs))), len(vs)*8)...)
+	}
+	for _, v := range vs {
+		b = AppendU64(b, v)
+	}
+	return b
+}
+
+// AppendF64sRaw is AppendU64sRaw over IEEE-754 bits (bit-exact,
+// including NaN payloads and signed zeros).
+func AppendF64sRaw(b []byte, vs []float64) []byte {
+	b = AppendU32(b, uint32(len(vs)))
+	b = AppendAlign8(b)
+	if nativeLittle && len(vs) > 0 {
+		return append(b, unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(vs))), len(vs)*8)...)
+	}
+	for _, v := range vs {
+		b = AppendF64(b, v)
+	}
+	return b
+}
+
+// AppendI32sRaw appends a u32 count, padding to an 8-byte boundary (so
+// every raw section starts 8-aligned regardless of element size), and
+// the values as raw little-endian words.
+func AppendI32sRaw(b []byte, vs []int32) []byte {
+	b = AppendU32(b, uint32(len(vs)))
+	b = AppendAlign8(b)
+	if nativeLittle && len(vs) > 0 {
+		return append(b, unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(vs))), len(vs)*4)...)
+	}
+	for _, v := range vs {
+		b = AppendI32(b, v)
 	}
 	return b
 }
@@ -98,6 +166,93 @@ func (r *Reader) take(n int) []byte {
 	b := r.buf[r.off : r.off+n]
 	r.off += n
 	return b
+}
+
+// Skip discards the next n bytes.
+func (r *Reader) Skip(n int) { r.take(n) }
+
+// Align8 discards the padding AppendAlign8 wrote: it advances the read
+// offset to the next multiple of 8 from the buffer's start.
+func (r *Reader) Align8() {
+	if pad := (8 - r.off%8) % 8; pad != 0 {
+		r.take(pad)
+	}
+}
+
+// Raw returns the next n bytes of the buffer without copying (aliasing
+// the underlying array), validated against the remaining length. The
+// caller must treat the result as read-only.
+func (r *Reader) Raw(n int) []byte { return r.take(n) }
+
+// rawSection reads the count prefix and aligned payload of an
+// Append*sRaw section: n elements of elem bytes each, 8-aligned from
+// the buffer start. Returns nil (with the error recorded, if any) for
+// an empty or unreadable section.
+func (r *Reader) rawSection(elem int) (n int, b []byte) {
+	n = int(r.U32())
+	r.Align8()
+	if n == 0 || r.err != nil {
+		return 0, nil
+	}
+	if n > r.Remaining()/elem {
+		r.fail("raw section of %d x %d bytes exceeds %d remaining", n, elem, r.Remaining())
+		return 0, nil
+	}
+	return n, r.take(n * elem)
+}
+
+// U64sZeroCopy reads a section written by AppendU64sRaw. On a
+// little-endian host with the payload 8-byte aligned in memory (an
+// aligned file read or mmap) the returned slice aliases the buffer —
+// no copy, no allocation; otherwise it is copied element-wise. Either
+// way the caller must treat the result as read-only, and an aliased
+// result is only valid while the buffer stays mapped.
+func (r *Reader) U64sZeroCopy() []uint64 {
+	n, b := r.rawSection(8)
+	if b == nil {
+		return nil
+	}
+	if p := unsafe.Pointer(unsafe.SliceData(b)); nativeLittle && uintptr(p)%8 == 0 {
+		return unsafe.Slice((*uint64)(p), n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
+// F64sZeroCopy is U64sZeroCopy over IEEE-754 bits.
+func (r *Reader) F64sZeroCopy() []float64 {
+	n, b := r.rawSection(8)
+	if b == nil {
+		return nil
+	}
+	if p := unsafe.Pointer(unsafe.SliceData(b)); nativeLittle && uintptr(p)%8 == 0 {
+		return unsafe.Slice((*float64)(p), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// I32sZeroCopy reads a section written by AppendI32sRaw, aliasing the
+// buffer when the host is little-endian and the payload 4-byte aligned.
+func (r *Reader) I32sZeroCopy() []int32 {
+	n, b := r.rawSection(4)
+	if b == nil {
+		return nil
+	}
+	if p := unsafe.Pointer(unsafe.SliceData(b)); nativeLittle && uintptr(p)%4 == 0 {
+		return unsafe.Slice((*int32)(p), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
 }
 
 // U8 reads one byte.

@@ -3,11 +3,13 @@ package forecast
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync/atomic"
 
 	"repro/internal/binenc"
 	"repro/internal/features"
 	"repro/internal/mltree"
+	"repro/internal/mmapfile"
 	"repro/internal/score"
 )
 
@@ -153,9 +155,13 @@ func (a *baselineArtifact) Predict(c *Context, t, w int) ([]float64, error) {
 // whole sector block per tree pass with zero per-sector allocation.
 type classifierArtifact struct {
 	artifactMeta
-	kind       uint8
-	extractor  features.Extractor
-	width      int // trained feature-vector length; Predict windows must match
+	kind      uint8
+	extractor features.Extractor
+	width     int // trained feature-vector length; Predict windows must match
+	// tree/forest/gbt are the walked pointer learners. Version-3 artifacts
+	// serialize only the flat engine, so these are nil for decoded v3
+	// models; only the predictWalked fallback and the legacy v1/v2 decode
+	// arms still use them.
 	tree       *mltree.Tree
 	forest     *mltree.Forest
 	gbt        *mltree.GBT
@@ -164,6 +170,11 @@ type classifierArtifact struct {
 	flatGBT    *mltree.FlatGBT
 	// importances of the fit (mean decrease in impurity); nil for GBT.
 	importances []float64
+	// backing keeps an mmap'd artifact file alive while the flat engine
+	// aliases its sections (zero-copy decode); nil for heap-decoded
+	// artifacts. mmapBytes is the mapped file size, 0 when heap-resident.
+	backing   *mmapfile.File
+	mmapBytes int64
 }
 
 // flatten compiles the learner into the batched inference engine. Called
@@ -195,6 +206,26 @@ func BatchPredictCalls() uint64 { return batchPredicts.Load() }
 type FlatModel interface {
 	FlatBytes() int64
 }
+
+// DescentMode reports which batch kernel the artifact's flat engine
+// descends with: "binned" (quantized uint8 codes) or "float" (raw key
+// compares); "walked" if the artifact was never flattened. Surfaced by
+// hotserve /healthz.
+func (a *classifierArtifact) DescentMode() string {
+	switch {
+	case a.flatTree != nil:
+		return a.flatTree.DescentMode()
+	case a.flatForest != nil:
+		return a.flatForest.DescentMode()
+	case a.flatGBT != nil:
+		return a.flatGBT.DescentMode()
+	}
+	return "walked"
+}
+
+// MmapBytes reports the size of the memory-mapped artifact file backing
+// this model's flat sections, or 0 when the model is heap-resident.
+func (a *classifierArtifact) MmapBytes() int64 { return a.mmapBytes }
 
 // FlatBytes implements FlatModel.
 func (a *classifierArtifact) FlatBytes() int64 {
@@ -305,9 +336,19 @@ func (a *classifierArtifact) Importances() []float64 { return a.importances }
 var artifactMagic = [4]byte{'H', 'O', 'T', 'M'}
 
 // ArtifactVersion is the serialization format version this build writes.
-// Version 2 added the training-dataset fingerprint (u64, after the cutoff);
-// version-1 artifacts still decode, with a zero ("unknown") fingerprint.
-const ArtifactVersion uint16 = 2
+// Version 3 made the compiled flat engine the serialized form: classifier
+// payloads carry the inference engine's own arrays as 8-byte-aligned
+// little-endian sections (aligned from the file's first byte), so a decode
+// over an aligned buffer — in particular a memory-mapped file — aliases
+// the sections in place and costs O(1) in the node count. Version 2 added
+// the training-dataset fingerprint (u64, after the cutoff); version 1
+// predates it. Both legacy versions (walked-learner payloads) still
+// decode, recompiling their flat engines on the heap.
+const ArtifactVersion uint16 = 3
+
+// artifactVersionWalked is the last envelope whose classifier payload was
+// the walked pointer learner; still read for backward compatibility.
+const artifactVersionWalked uint16 = 2
 
 // artifactVersionNoFP is the pre-fingerprint envelope this build still
 // reads for backward compatibility.
@@ -329,13 +370,18 @@ func EncodeModel(tr Trained) ([]byte, error) {
 			b = binenc.AppendString(b, a.extractor.Name())
 			b = binenc.AppendU32(b, uint32(a.width))
 			b = binenc.AppendF64s(b, a.importances)
+			// The flat engine is the serialized form (always present: Fit
+			// and every decode arm compile it). Its raw sections are padded
+			// to 8-byte offsets measured from the buffer start, i.e. from
+			// the magic — which is why DecodeModel reads with a whole-file
+			// Reader rather than slicing the magic off.
 			switch kind {
 			case kindTree:
-				return a.tree.AppendBinary(b)
+				return a.flatTree.AppendBinary(b)
 			case kindForest:
-				return a.forest.AppendBinary(b)
+				return a.flatForest.AppendBinary(b)
 			default:
-				return a.gbt.AppendBinary(b)
+				return a.flatGBT.AppendBinary(b)
 			}
 		}
 	default:
@@ -355,14 +401,31 @@ func EncodeModel(tr Trained) ([]byte, error) {
 
 // DecodeModel reads an artifact serialized by EncodeModel. Corrupt input —
 // wrong magic, truncation, out-of-range structure, trailing bytes — and
-// version mismatches yield errors, never panics.
-func DecodeModel(data []byte) (Trained, error) {
+// version mismatches yield errors, never panics: the untrusted decode path
+// validates every structural invariant the unchecked flat kernels rely on.
+//
+// A version-3 artifact decoded from an aligned buffer aliases the buffer's
+// node and payload sections instead of copying them (zero copy); the
+// buffer must stay live and unmodified for the artifact's lifetime.
+func DecodeModel(data []byte) (Trained, error) { return decodeModel(data, false) }
+
+// decodeModel is DecodeModel with the trust level explicit. trusted skips
+// the O(nodes) structural validation of version-3 flat sections — used
+// only by the mmap load path for operator-provisioned files (the same
+// trust granted to the serving binary's own pages), which is what keeps
+// mmap load time independent of model size.
+func decodeModel(data []byte, trusted bool) (Trained, error) {
 	if len(data) < len(artifactMagic) || string(data[:4]) != string(artifactMagic[:]) {
 		return nil, fmt.Errorf("forecast: not a model artifact (bad magic)")
 	}
-	r := binenc.NewReader(data[4:])
+	// The Reader spans the whole file, magic included, so reader offsets
+	// equal file offsets and the 8-byte section alignment the encoder
+	// established survives into memory (file reads and mmap bases are
+	// page- or allocation-aligned).
+	r := binenc.NewReader(data)
+	r.Skip(4)
 	v := r.U16()
-	if v != ArtifactVersion && v != artifactVersionNoFP {
+	if v < artifactVersionNoFP || v > ArtifactVersion {
 		return nil, fmt.Errorf("forecast: artifact version %d unsupported (this build reads versions %d-%d)", v, artifactVersionNoFP, ArtifactVersion)
 	}
 	kind := r.U8()
@@ -408,21 +471,43 @@ func DecodeModel(data []byte) (Trained, error) {
 			return nil, fmt.Errorf("forecast: artifact has invalid feature width %d", a.width)
 		}
 		var learnerFeatures int
-		switch kind {
-		case kindTree:
-			a.tree, err = mltree.DecodeTree(r)
-			if a.tree != nil {
-				learnerFeatures = a.tree.NumFeatures
+		if v > artifactVersionWalked {
+			// Version 3: the payload is the flat engine itself; no walked
+			// learner exists and no flatten() recompilation is needed.
+			switch kind {
+			case kindTree:
+				a.flatTree, err = mltree.DecodeFlatTree(r, trusted)
+				if a.flatTree != nil {
+					learnerFeatures = a.flatTree.NumFeatures
+				}
+			case kindForest:
+				a.flatForest, err = mltree.DecodeFlatForest(r, trusted)
+				if a.flatForest != nil {
+					learnerFeatures = a.flatForest.NumFeatures
+				}
+			default:
+				a.flatGBT, err = mltree.DecodeFlatGBT(r, trusted)
+				if a.flatGBT != nil {
+					learnerFeatures = a.flatGBT.NumFeatures
+				}
 			}
-		case kindForest:
-			a.forest, err = mltree.DecodeForest(r)
-			if a.forest != nil {
-				learnerFeatures = a.forest.NumFeatures
-			}
-		default:
-			a.gbt, err = mltree.DecodeGBT(r)
-			if a.gbt != nil {
-				learnerFeatures = a.gbt.NumFeatures
+		} else {
+			switch kind {
+			case kindTree:
+				a.tree, err = mltree.DecodeTree(r)
+				if a.tree != nil {
+					learnerFeatures = a.tree.NumFeatures
+				}
+			case kindForest:
+				a.forest, err = mltree.DecodeForest(r)
+				if a.forest != nil {
+					learnerFeatures = a.forest.NumFeatures
+				}
+			default:
+				a.gbt, err = mltree.DecodeGBT(r)
+				if a.gbt != nil {
+					learnerFeatures = a.gbt.NumFeatures
+				}
 			}
 		}
 		if err != nil {
@@ -433,7 +518,9 @@ func DecodeModel(data []byte) (Trained, error) {
 		if learnerFeatures != a.width {
 			return nil, fmt.Errorf("forecast: artifact width %d does not match its learner's %d features", a.width, learnerFeatures)
 		}
-		a.flatten()
+		if v <= artifactVersionWalked {
+			a.flatten()
+		}
 		tr = a
 	default:
 		return nil, fmt.Errorf("forecast: unknown artifact kind %d", kind)
@@ -454,15 +541,36 @@ func SaveModel(path string, tr Trained) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// LoadModelFile reads an artifact written by SaveModel.
+// LoadModelFile loads an artifact written by SaveModel, memory-mapping it
+// where the platform supports that. A version-3 classifier served from a
+// mapping aliases the file's flat sections in place: nothing is copied,
+// load time is independent of node count, and the model's pages fault in
+// lazily from the page cache (shared across processes mapping the same
+// file). The file is trusted at the level of the binary's own code pages —
+// it is operator-provisioned, so the O(nodes) structural validation that
+// DecodeModel applies to arbitrary bytes is skipped here. The mapping is
+// held alive by the returned artifact and released by its finalizer.
 func LoadModelFile(path string) (Trained, error) {
-	data, err := os.ReadFile(path)
+	f, err := mmapfile.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	tr, err := DecodeModel(data)
+	tr, err := decodeModel(f.Data(), true)
 	if err != nil {
+		f.Close()
 		return nil, fmt.Errorf("forecast: %s: %w", path, err)
 	}
+	a, ok := tr.(*classifierArtifact)
+	if !ok || !f.Mapped() || a.FlatBytes() == 0 || a.tree != nil || a.forest != nil || a.gbt != nil {
+		// Baselines copy everything they need out of the buffer at decode,
+		// legacy walked payloads (v1/v2) are rebuilt on the heap, and a
+		// heap-read File has no mapping to manage — none of them alias the
+		// buffer, so the mapping can go.
+		f.Close()
+		return tr, nil
+	}
+	a.backing = f
+	a.mmapBytes = int64(len(f.Data()))
+	runtime.SetFinalizer(a, func(a *classifierArtifact) { a.backing.Close() })
 	return tr, nil
 }

@@ -62,10 +62,10 @@ func TestArtifactFlatMatchesWalked(t *testing.T) {
 	}
 }
 
-// TestArtifactFlatRoundTrip: decode rebuilds the flat engine (the .hotm
-// envelope never carries it), with the same footprint and bit-identical
-// scores — decode-time flattening can never drift from fit-time
-// flattening.
+// TestArtifactFlatRoundTrip: the version-3 .hotm envelope carries the
+// flat engine itself; decoding it yields the same footprint and
+// bit-identical scores — the serialized form can never drift from the
+// fit-time compilation.
 func TestArtifactFlatRoundTrip(t *testing.T) {
 	c := testContext(t, 100, 8, 43)
 	c.ForestTrees = 5

@@ -10,7 +10,7 @@ import (
 )
 
 // testContext builds a small scored context shared across tests.
-func testContext(t *testing.T, sectors, weeks int, seed uint64) *Context {
+func testContext(t testing.TB, sectors, weeks int, seed uint64) *Context {
 	t.Helper()
 	cfg := simnet.DefaultConfig()
 	cfg.Seed = seed

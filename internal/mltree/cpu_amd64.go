@@ -1,0 +1,26 @@
+package mltree
+
+// Implemented in cpu_amd64.s.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// binnedHaveAVX512 gates the SIMD linear-scan quantizer: AVX-512F in
+// CPUID and the full ZMM/opmask state enabled by the OS via XCR0.
+var binnedHaveAVX512 = detectAVX512()
+
+func detectAVX512() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	if c1&(1<<27) == 0 { // OSXSAVE
+		return false
+	}
+	xlo, _ := xgetbv0()
+	if xlo&0xe6 != 0xe6 { // XMM, YMM, opmask, ZMM_hi256, Hi16_ZMM
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	return b7&(1<<16) != 0 // AVX512F
+}

@@ -561,9 +561,38 @@ type FlatTree struct {
 	NumFeatures int
 	NumClasses  int
 	flatNodes
+	descentMode
 	leafProbs []float64 // pooled: leaf l's probabilities at [l*NumClasses, (l+1)*NumClasses)
 	root      int32     // root code; a leaf code for single-leaf trees
 }
+
+// descentMode carries a flat learner's optional binned twin (see
+// flatbinned.go) and the override that forces the float-keyed kernels.
+// Flatten compiles the twin only for hist-trained models, where the
+// quantized descent is bit-identical by construction.
+type descentMode struct {
+	binned      *binnedEnsemble
+	floatForced bool
+}
+
+func (dm *descentMode) useBinned() bool { return dm.binned != nil && !dm.floatForced }
+
+// DescentMode reports the comparison kernel batch scoring uses:
+// "binned" (uint8 bin-code compares over quantized row tiles) or
+// "float" (total-order key compares). Hist-trained models within the
+// binned layout's capacity run binned; everything else runs float.
+func (dm *descentMode) DescentMode() string {
+	if dm.useBinned() {
+		return "binned"
+	}
+	return "float"
+}
+
+// SetFloatDescent forces (true) or re-allows (false) the float-keyed
+// descent on a model whose binned twin exists — the benchmark and test
+// hook for measuring or cross-checking both kernels on one model. Not
+// safe to call concurrently with batch scoring.
+func (dm *descentMode) SetFloatDescent(force bool) { dm.floatForced = force }
 
 // flatIndex assigns every node its flat code: internal nodes get dense
 // indices in node order, leaves get pooled leaf codes in node order. The
@@ -606,6 +635,14 @@ func (t *Tree) Flatten() *FlatTree {
 		}
 		ft.nodes[c] = flatNode{tkey: thresholdKey(nd.threshold),
 			pack: packNode(nd.feature, codes[nd.left], codes[nd.right])}
+	}
+	if t.histTrained {
+		ft.binned = compileBinnedTrees([]*Tree{t}, t.NumFeatures, forestPadDepth)
+		// A lone tree defaults to the float kernel: quantizing every
+		// row-feature pays off only when the codes amortize over many
+		// trees, and a single descent per row never recoups it.
+		// SetFloatDescent(false) opts back in.
+		ft.floatForced = true
 	}
 	return ft
 }
@@ -654,6 +691,12 @@ func (ft *FlatTree) PredictProbaBatch(x []float64, n int, out []float64) {
 func (ft *FlatTree) ScoreBatch(x []float64, n int, out []float64) {
 	checkBatch(x, n, ft.NumFeatures, out, 1)
 	f, k := ft.NumFeatures, ft.NumClasses
+	if ft.useBinned() {
+		scoreBatchBinned(ft.binned, x, n, 1, func(i int) float64 {
+			return ft.leafProbs[int(^ft.leaf(x[i*f:(i+1)*f], ft.root))*k+1]
+		}, out)
+		return
+	}
 	i := 0
 	for ; i+4 <= n; i += 4 {
 		c0, c1, c2, c3 := ft.leaf4(x, i*f, f, ft.root)
@@ -669,7 +712,11 @@ func (ft *FlatTree) ScoreBatch(x []float64, n int, out []float64) {
 
 // FlatBytes reports the flat layout's memory footprint.
 func (ft *FlatTree) FlatBytes() int64 {
-	return int64(len(ft.nodes))*16 + int64(len(ft.leafProbs))*8 + 64
+	b := int64(len(ft.nodes))*16 + int64(len(ft.leafProbs))*8 + 64
+	if ft.binned != nil {
+		b += ft.binned.bytes()
+	}
+	return b
 }
 
 // FlatForest is a Forest compiled into one pooled SoA block: every tree's
@@ -679,6 +726,7 @@ type FlatForest struct {
 	NumFeatures int
 	NumClasses  int
 	flatNodes
+	descentMode
 	roots     []int32   // per-tree root codes (global)
 	phase1    []int32   // per-tree clamp-free descent depth: every path has at least this many edges
 	leafProbs []float64 // pooled across all trees
@@ -734,6 +782,9 @@ func (fo *Forest) Flatten() *FlatForest {
 		ff.phase1[ti] = pad
 	}
 	flatCap(len(ff.nodes), len(ff.leafP1), fo.NumFeatures)
+	if histTrainedAll(fo.Trees) {
+		ff.binned = compileBinnedTrees(fo.Trees, fo.NumFeatures, forestPadDepth)
+	}
 	return ff
 }
 
@@ -786,6 +837,17 @@ func (ff *FlatForest) ScoreBatch(x []float64, n int, out []float64) {
 	checkBatch(x, n, ff.NumFeatures, out, 1)
 	f := ff.NumFeatures
 	inv := 1.0 / float64(len(ff.roots))
+	if ff.useBinned() {
+		scoreBatchBinned(ff.binned, x, n, inv, func(i int) float64 {
+			row := x[i*f : (i+1)*f]
+			s := 0.0
+			for _, root := range ff.roots {
+				s += ff.leafP1[int(^ff.leaf(row, root))]
+			}
+			return s
+		}, out)
+		return
+	}
 	kt, kb := getKeyTile(f)
 	defer keyTilePool.Put(kt)
 	i := 0
@@ -817,8 +879,12 @@ func (ff *FlatForest) NumTrees() int { return len(ff.roots) }
 
 // FlatBytes reports the flat layout's memory footprint.
 func (ff *FlatForest) FlatBytes() int64 {
-	return int64(len(ff.nodes))*16 + int64(len(ff.leafProbs))*8 +
+	b := int64(len(ff.nodes))*16 + int64(len(ff.leafProbs))*8 +
 		int64(len(ff.leafP1))*8 + int64(len(ff.roots))*8 + 64
+	if ff.binned != nil {
+		b += ff.binned.bytes()
+	}
+	return b
 }
 
 // FlatRegressionTree is a RegressionTree compiled into the SoA layout.
@@ -915,6 +981,7 @@ type FlatGBT struct {
 	NumFeatures int
 	prior       float64
 	flatNodes
+	descentMode
 	roots    []int32
 	depths   []int32   // per-stage max depth: the counted-descent iteration bound
 	leafAdds []float64 // pooled shrinkage * leaf value per leaf: exactly the walked path's per-stage addend
@@ -965,6 +1032,9 @@ func (g *GBT) Flatten() *FlatGBT {
 		fg.depths[ti] = maxDepth
 	}
 	flatCap(len(fg.nodes), len(fg.leafAdds), g.NumFeatures)
+	if histTrainedGBT(g.trees) {
+		fg.binned = compileBinnedGBT(g)
+	}
 	return fg
 }
 
@@ -986,6 +1056,17 @@ func (fg *FlatGBT) RawBatch(x []float64, n int, out []float64) {
 // slots), in boosting order per row starting from the value already in
 // the slot — the walked path's exact association.
 func (fg *FlatGBT) accumulate(x []float64, n, f int, out []float64, stride int) {
+	if fg.useBinned() {
+		accumulateBinned(fg.binned, x, n, func(i int) float64 {
+			row := x[i*f : (i+1)*f]
+			s := 0.0
+			for _, root := range fg.roots {
+				s += fg.leafAdds[int(^fg.leaf(row, root))]
+			}
+			return s
+		}, out, stride)
+		return
+	}
 	kt, kb := getKeyTile(f)
 	defer keyTilePool.Put(kt)
 	i := 0
@@ -1047,6 +1128,10 @@ func (fg *FlatGBT) Rounds() int { return len(fg.roots) }
 
 // FlatBytes reports the flat layout's memory footprint.
 func (fg *FlatGBT) FlatBytes() int64 {
-	return int64(len(fg.nodes))*16 + int64(len(fg.leafAdds))*8 +
+	b := int64(len(fg.nodes))*16 + int64(len(fg.leafAdds))*8 +
 		int64(len(fg.roots))*8 + 80
+	if fg.binned != nil {
+		b += fg.binned.bytes()
+	}
+	return b
 }

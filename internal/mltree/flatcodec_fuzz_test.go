@@ -1,0 +1,97 @@
+package mltree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/binenc"
+)
+
+// fuzzEval builds a small adversarial evaluation batch: NaNs, infinities,
+// signed zeros, denormals — everything a mutated artifact's descent must
+// survive once it passes validation.
+func fuzzEval(n, f int) []float64 {
+	pool := []float64{0, math.Copysign(0, -1), 1, -1, 0.5, math.Inf(1), math.Inf(-1),
+		math.NaN(), math.SmallestNonzeroFloat64, -math.MaxFloat64, 1e300}
+	x := make([]float64, n*f)
+	for i := range x {
+		x[i] = pool[i%len(pool)]
+	}
+	return x
+}
+
+// fuzzFlatDecode is the shared fuzz body: decoding arbitrary bytes on the
+// untrusted path must never panic, and anything that decodes cleanly must
+// score a batch without stepping outside its arrays (the run is bounds- and
+// race-checked under `go test -fuzz`).
+func fuzzFlatDecode(t *testing.T, data []byte, decode func(r *binenc.Reader) (interface {
+	ScoreBatch(x []float64, n int, out []float64)
+}, int, error)) {
+	r := binenc.NewReader(data)
+	m, f, err := decode(r)
+	if err != nil || r.Close() != nil {
+		return
+	}
+	const n = 16
+	out := make([]float64, n)
+	m.ScoreBatch(fuzzEval(n, f), n, out)
+}
+
+func FuzzDecodeFlatForest(f *testing.F) {
+	_, _, ff, _, _, _, _ := codecModels(f)
+	enc := ff.AppendBinary(nil)
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzFlatDecode(t, data, func(r *binenc.Reader) (interface {
+			ScoreBatch(x []float64, n int, out []float64)
+		}, int, error) {
+			m, err := DecodeFlatForest(r, false)
+			if err != nil {
+				return nil, 0, err
+			}
+			return m, m.NumFeatures, nil
+		})
+	})
+}
+
+func FuzzDecodeFlatGBT(f *testing.F) {
+	_, _, _, fg, _, _, _ := codecModels(f)
+	f.Add(fg.AppendBinary(nil))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzFlatDecode(t, data, func(r *binenc.Reader) (interface {
+			ScoreBatch(x []float64, n int, out []float64)
+		}, int, error) {
+			m, err := DecodeFlatGBT(r, false)
+			if err != nil {
+				return nil, 0, err
+			}
+			return m, m.NumFeatures, nil
+		})
+	})
+}
+
+// TestFlatCodecMisaligned: the artifact bytes at a misaligned address
+// (where zero-copy aliasing is impossible) decode through the copy
+// fallback, bit-identical to the aligned decode.
+func TestFlatCodecMisaligned(t *testing.T) {
+	_, _, ff, _, eval, n, _ := codecModels(t)
+	enc := ff.AppendBinary(nil)
+	shifted := make([]byte, len(enc)+1)
+	copy(shifted[1:], enc)
+	got, err := DecodeFlatForest(binenc.NewReader(shifted[1:]), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, n)
+	have := make([]float64, n)
+	ff.ScoreBatch(eval, n, want)
+	got.ScoreBatch(eval, n, have)
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("row %d: misaligned decode scores %v, aligned %v", i, have[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package mltree
+
+import (
+	"testing"
+	"unsafe"
+
+	"repro/internal/binenc"
+	"repro/internal/randx"
+)
+
+// codecModels builds one hist-trained model of each flat kind plus an
+// exact-trained tree (no binned twin), with an evaluation batch.
+func codecModels(t testing.TB) (ftH, ftE *FlatTree, ff *FlatForest, fg *FlatGBT, eval []float64, n, f int) {
+	t.Helper()
+	n, f = 300, 10
+	x, y, ev := flatTestData(131, n, f)
+	poisonRows(ev, f)
+	cfg := TreeConfig()
+	cfg.Algo = SplitHist
+	tr, err := FitTree(x, n, f, y, nil, 2, cfg, randx.New(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Algo = SplitExact
+	te, err := FitTree(x, n, f, y, nil, 2, cfg, randx.New(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := DefaultForestConfig()
+	fcfg.NumTrees = 6
+	fcfg.Tree.Algo = SplitHist
+	fo, err := FitForest(x, n, f, y, nil, 2, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg := DefaultGBTConfig()
+	gcfg.Rounds = 12
+	gcfg.Algo = SplitHist
+	g, err := FitGBT(x, n, f, y, nil, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Flatten(), te.Flatten(), fo.Flatten(), g.Flatten(), ev, n, f
+}
+
+// mustMatch asserts two flat learners produce bit-identical scores and
+// probabilities over the batch.
+func mustMatch(t *testing.T, kind string, n, classes int, score func(*testing.T, []float64, []float64)) {
+	t.Helper()
+	a := make([]float64, n*classes)
+	b := make([]float64, n*classes)
+	score(t, a, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: output %d decoded %v, original %v", kind, i, b[i], a[i])
+		}
+	}
+}
+
+func TestFlatCodecRoundTrip(t *testing.T) {
+	ftH, ftE, ff, fg, eval, n, _ := codecModels(t)
+	for _, trusted := range []bool{false, true} {
+		for _, tc := range []struct {
+			kind string
+			run  func(t *testing.T)
+		}{
+			{"tree-hist", func(t *testing.T) {
+				r := binenc.NewReader(ftH.AppendBinary(nil))
+				got, err := DecodeFlatTree(r, trusted)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := r.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if got.DescentMode() != "float" {
+					t.Fatalf("decoded lone hist tree mode %q, want float (opt-in default)", got.DescentMode())
+				}
+				got.SetFloatDescent(false)
+				ftH.SetFloatDescent(false)
+				if got.DescentMode() != "binned" {
+					t.Fatal("decoded tree lost its binned twin")
+				}
+				mustMatch(t, "tree-hist score", n, 1, func(t *testing.T, a, b []float64) {
+					ftH.ScoreBatch(eval, n, a)
+					got.ScoreBatch(eval, n, b)
+				})
+				mustMatch(t, "tree-hist proba", n, ftH.NumClasses, func(t *testing.T, a, b []float64) {
+					ftH.PredictProbaBatch(eval, n, a)
+					got.PredictProbaBatch(eval, n, b)
+				})
+			}},
+			{"tree-exact", func(t *testing.T) {
+				r := binenc.NewReader(ftE.AppendBinary(nil))
+				got, err := DecodeFlatTree(r, trusted)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.DescentMode() != "float" {
+					t.Fatalf("exact tree decoded mode %q", got.DescentMode())
+				}
+				mustMatch(t, "tree-exact score", n, 1, func(t *testing.T, a, b []float64) {
+					ftE.ScoreBatch(eval, n, a)
+					got.ScoreBatch(eval, n, b)
+				})
+			}},
+			{"forest", func(t *testing.T) {
+				r := binenc.NewReader(ff.AppendBinary(nil))
+				got, err := DecodeFlatForest(r, trusted)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := r.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if got.DescentMode() != "binned" {
+					t.Fatalf("decoded hist forest mode %q, want binned", got.DescentMode())
+				}
+				mustMatch(t, "forest score", n, 1, func(t *testing.T, a, b []float64) {
+					ff.ScoreBatch(eval, n, a)
+					got.ScoreBatch(eval, n, b)
+				})
+				mustMatch(t, "forest proba", n, ff.NumClasses, func(t *testing.T, a, b []float64) {
+					ff.PredictProbaBatch(eval, n, a)
+					got.PredictProbaBatch(eval, n, b)
+				})
+			}},
+			{"gbt", func(t *testing.T) {
+				r := binenc.NewReader(fg.AppendBinary(nil))
+				got, err := DecodeFlatGBT(r, trusted)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := r.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if got.DescentMode() != "binned" {
+					t.Fatalf("decoded hist GBT mode %q, want binned", got.DescentMode())
+				}
+				mustMatch(t, "gbt raw", n, 1, func(t *testing.T, a, b []float64) {
+					fg.RawBatch(eval, n, a)
+					got.RawBatch(eval, n, b)
+				})
+				mustMatch(t, "gbt proba", n, 2, func(t *testing.T, a, b []float64) {
+					fg.PredictProbaBatch(eval, n, a)
+					got.PredictProbaBatch(eval, n, b)
+				})
+			}},
+		} {
+			name := tc.kind
+			if trusted {
+				name += "-trusted"
+			}
+			t.Run(name, tc.run)
+		}
+	}
+}
+
+// TestFlatCodecZeroCopy: on a little-endian host, decoding from a heap
+// buffer (8-aligned, like an mmap base) aliases the node and payload
+// sections instead of copying them.
+func TestFlatCodecZeroCopy(t *testing.T) {
+	if !binenc.NativeLittle() {
+		t.Skip("zero-copy aliasing requires a little-endian host")
+	}
+	_, _, ff, _, _, _, _ := codecModels(t)
+	buf := ff.AppendBinary(nil)
+	got, err := DecodeFlatForest(binenc.NewReader(buf), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := uintptr(unsafe.Pointer(unsafe.SliceData(buf)))
+	hi := lo + uintptr(len(buf))
+	inside := func(p unsafe.Pointer) bool { return uintptr(p) >= lo && uintptr(p) < hi }
+	if len(got.nodes) > 0 && !inside(unsafe.Pointer(unsafe.SliceData(got.nodes))) {
+		t.Error("float nodes were copied, want aliased")
+	}
+	if !inside(unsafe.Pointer(unsafe.SliceData(got.leafProbs))) {
+		t.Error("leafProbs were copied, want aliased")
+	}
+	if got.binned == nil {
+		t.Fatal("expected binned twin")
+	}
+	if !inside(unsafe.Pointer(unsafe.SliceData(got.binned.nodes))) {
+		t.Error("binned nodes were copied, want aliased")
+	}
+	if !inside(unsafe.Pointer(unsafe.SliceData(got.binned.leafVals))) {
+		t.Error("binned leafVals were copied, want aliased")
+	}
+}
+
+// TestFlatCodecRejectsCorruption: truncations and targeted field
+// corruptions must produce an error from the untrusted decode path —
+// never a panic, and never a structure the unchecked kernels could walk
+// out of bounds.
+func TestFlatCodecRejectsCorruption(t *testing.T) {
+	_, _, ff, fg, _, _, _ := codecModels(t)
+	buf := ff.AppendBinary(nil)
+	decode := func(b []byte) error {
+		r := binenc.NewReader(b)
+		_, err := DecodeFlatForest(r, false)
+		if err == nil {
+			err = r.Close()
+		}
+		return err
+	}
+	for _, cut := range []int{0, 1, 4, 8, len(buf) / 2, len(buf) - 1} {
+		if err := decode(buf[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes decoded cleanly", cut)
+		}
+	}
+	// Every single-byte corruption must either fail or decode into a
+	// structure whose scoring stays in bounds (checked by the -race /
+	// bounds-checked walk below on the ones that decode).
+	stride := len(buf)/97 + 1
+	for off := 0; off < len(buf); off += stride {
+		mut := append([]byte(nil), buf...)
+		mut[off] ^= 0x40
+		r := binenc.NewReader(mut)
+		got, err := DecodeFlatForest(r, false)
+		if err != nil || r.Close() != nil {
+			continue
+		}
+		x := make([]float64, 64*got.NumFeatures)
+		out := make([]float64, 64)
+		got.ScoreBatch(x, 64, out)
+	}
+	// GBT depth contract: shrinking a stage depth must be rejected, since
+	// the counted descent would read non-leaf codes as leaf indexes.
+	gbuf := fg.AppendBinary(nil)
+	gr := binenc.NewReader(gbuf)
+	got, err := DecodeFlatGBT(gr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.depths) > 0 && got.depths[0] > 0 {
+		bad := append([]byte(nil), gbuf...)
+		// depths is the second raw i32 section; corrupt it through the
+		// decoded alias' position in the buffer instead of computing
+		// offsets by hand.
+		depOff := int(uintptr(unsafe.Pointer(unsafe.SliceData(got.depths))) -
+			uintptr(unsafe.Pointer(unsafe.SliceData(gbuf))))
+		bad[depOff]--
+		if _, err := DecodeFlatGBT(binenc.NewReader(bad), false); err == nil {
+			t.Error("shrunken GBT stage depth decoded cleanly")
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package mltree
+
+import "unsafe"
+
+// binnedSIMDMaxCuts is the cut count up to which the AVX-512 linear
+// scan beats the scalar searches: the kernel spends three instructions
+// per cut for eight rows, so at 32 cuts it still runs ~12 instructions
+// per row-feature where the scalar radix path needs ~22.
+const binnedSIMDMaxCuts = 32
+
+// quantCmpAVX512 quantizes rows8 rows (a multiple of 8) of one feature
+// column by linear compare-count: dst[r] = #{j : pk[j] < rowKey(col[r])},
+// which is exactly the lower-bound code. col points at the feature's
+// value in the block's first row, stride is the row stride in bytes,
+// pk at the feature's m ascending cut keys. Implemented in
+// quantsimd_amd64.s; callers must check binnedHaveAVX512.
+//
+//go:noescape
+func quantCmpAVX512(col unsafe.Pointer, stride uintptr, dst unsafe.Pointer, rows8 int, pk unsafe.Pointer, m int)

@@ -1,0 +1,88 @@
+#include "textflag.h"
+
+// func quantCmpAVX512(col unsafe.Pointer, stride uintptr, dst unsafe.Pointer, rows8 int, pk unsafe.Pointer, m int)
+//
+// Eight rows per iteration: gather the feature column's raw float bits,
+// map them to total-order comparison keys (floatKey with negative NaNs
+// lifted to the top key, mirroring rowKey in flat.go exactly), then for
+// each of the m cut keys broadcast-compare and count the lanes where
+// cut < key. The count is the lower-bound code — identical to the
+// scalar searches by construction.
+//
+// Register map:
+//	Z2  gather byte offsets for the current 8 rows
+//	Z3  8*stride splat (offset advance)
+//	Z4  sign-bit splat (floatKey's monotone flip)
+//	Z5  0xfff0000000000000 splat (negative-NaN threshold)
+//	Z6  all-ones (NaN key, and -1 for masked count increment)
+//	Z7  gathered raw bits
+//	Z8  comparison keys
+//	Z9  per-lane cut counts
+//	Z10 broadcast cut key
+TEXT ·quantCmpAVX512(SB), NOSPLIT, $64-48
+	MOVQ col+0(FP), SI
+	MOVQ stride+8(FP), CX
+	MOVQ dst+16(FP), DI
+	MOVQ rows8+24(FP), DX
+	MOVQ pk+32(FP), BX
+	MOVQ m+40(FP), R9
+
+	// Initial gather offsets {0..7}*stride, built on the stack.
+	XORQ AX, AX
+	MOVQ AX, 0(SP)
+	ADDQ CX, AX
+	MOVQ AX, 8(SP)
+	ADDQ CX, AX
+	MOVQ AX, 16(SP)
+	ADDQ CX, AX
+	MOVQ AX, 24(SP)
+	ADDQ CX, AX
+	MOVQ AX, 32(SP)
+	ADDQ CX, AX
+	MOVQ AX, 40(SP)
+	ADDQ CX, AX
+	MOVQ AX, 48(SP)
+	ADDQ CX, AX
+	MOVQ AX, 56(SP)
+	VMOVDQU64 0(SP), Z2
+	ADDQ CX, AX
+	VPBROADCASTQ AX, Z3
+
+	MOVQ $0x8000000000000000, AX
+	VPBROADCASTQ AX, Z4
+	MOVQ $0xfff0000000000000, AX
+	VPBROADCASTQ AX, Z5
+	MOVQ $-1, AX
+	VPBROADCASTQ AX, Z6
+
+loop8:
+	KXNORW K1, K1, K1
+	VPGATHERQQ (SI)(Z2*1), K1, Z7
+
+	// keys = bits ^ ((bits >>s 63) | signbit); negative NaNs -> all-ones
+	VPSRAQ $63, Z7, Z8
+	VPORQ  Z4, Z8, Z8
+	VPXORQ Z7, Z8, Z8
+	VPCMPUQ $6, Z5, Z7, K2
+	VMOVDQU64 Z6, K2, Z8
+
+	VPXORQ Z9, Z9, Z9
+	MOVQ BX, R10
+	MOVQ R9, R11
+
+cut:
+	VPBROADCASTQ (R10), Z10
+	VPCMPUQ $1, Z8, Z10, K3
+	VPSUBQ Z6, Z9, K3, Z9
+	ADDQ $8, R10
+	DECQ R11
+	JNZ cut
+
+	VPMOVQB Z9, (DI)
+	ADDQ $8, DI
+	VPADDQ Z3, Z2, Z2
+	SUBQ $8, DX
+	JNZ loop8
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package mltree
+
+import "unsafe"
+
+// See quantsimd_amd64.go; on other architectures every feature takes a
+// scalar search path.
+const binnedSIMDMaxCuts = 32
+
+var binnedHaveAVX512 = false
+
+func quantCmpAVX512(col unsafe.Pointer, stride uintptr, dst unsafe.Pointer, rows8 int, pk unsafe.Pointer, m int) {
+	panic("mltree: SIMD quantizer unavailable on this architecture")
+}

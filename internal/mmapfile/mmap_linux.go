@@ -1,0 +1,48 @@
+//go:build linux
+
+package mmapfile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Open maps path read-only. Empty files fall back to a heap read (a
+// zero-length mmap is EINVAL); any mmap failure degrades to the heap
+// read too, so callers never need a platform switch.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return &File{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmapfile: %s is %d bytes, beyond this platform's address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return readFallback(path)
+	}
+	return &File{data: data, mapped: true}, nil
+}
+
+// Close unmaps the file. Idempotent; a nil receiver or heap-backed File
+// is a no-op (heap data stays valid).
+func (f *File) Close() error {
+	if f == nil || !f.mapped || f.data == nil {
+		return nil
+	}
+	data := f.data
+	f.data = nil
+	f.mapped = false
+	return syscall.Munmap(data)
+}

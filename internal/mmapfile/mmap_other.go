@@ -1,0 +1,10 @@
+//go:build !linux
+
+package mmapfile
+
+// Open reads path into the heap on platforms without the mmap fast
+// path. The File behaves identically except Mapped reports false.
+func Open(path string) (*File, error) { return readFallback(path) }
+
+// Close is a no-op for heap-backed files; the data stays valid.
+func (f *File) Close() error { return nil }

@@ -1,0 +1,37 @@
+// Package mmapfile maps files read-only into memory where the platform
+// supports it, with a plain read fallback elsewhere. It exists for the
+// zero-copy artifact path: a memory-mapped .hotm file lets the flat
+// inference engine serve straight out of the page cache — load time
+// independent of model size, one physical copy shared across processes —
+// which is the edge-deployment story for large ensembles.
+package mmapfile
+
+import "os"
+
+// File is one opened file's contents, either memory-mapped or read into
+// the heap. Data is read-only either way: writing to a mapped region
+// faults, and callers that alias Data (the zero-copy decoders) must keep
+// the File alive as long as the aliases are in use.
+type File struct {
+	data   []byte
+	mapped bool
+}
+
+// Data returns the file contents. The slice is invalid after Close when
+// Mapped reports true.
+func (f *File) Data() []byte { return f.data }
+
+// Mapped reports whether Data is a memory mapping (true) or a heap copy
+// (false). Heap copies never invalidate; mappings die with Close.
+func (f *File) Mapped() bool { return f.mapped }
+
+// readFallback loads the file into the heap — the non-mmap platforms'
+// Open, and the empty-file path everywhere (mmap of zero bytes is an
+// error on Linux).
+func readFallback(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{data: data}, nil
+}

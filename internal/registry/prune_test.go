@@ -1,0 +1,138 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/forecast"
+)
+
+// setAge rewrites a published version's CreatedUnix in the live manifest
+// snapshot so pruneAt sees a controlled age. Test-only and single-threaded.
+func setAge(r *Registry, id int, created time.Time) {
+	m := r.cur.Load().m
+	for ti := range m.Tasks {
+		for vi := range m.Tasks[ti].Versions {
+			if m.Tasks[ti].Versions[vi].ID == id {
+				m.Tasks[ti].Versions[vi].CreatedUnix = created.Unix()
+			}
+		}
+	}
+}
+
+// TestPruneWithMaxAge: versions older than the age limit are dropped —
+// except each task's latest, which survives at any age.
+func TestPruneWithMaxAge(t *testing.T) {
+	c := testContext(t, 80, 8, 21)
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	var avg []Version
+	for day := 30; day < 33; day++ {
+		v, err := r.Publish(fitAt(t, c, day))
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg = append(avg, v)
+	}
+	persist, err := r.Publish(mustFit(t, forecast.PersistModel{}, c, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(avg[0].CreatedUnix, 0)
+	setAge(r, avg[0].ID, now.Add(-100*time.Hour))
+	setAge(r, avg[1].ID, now.Add(-50*time.Hour))
+	setAge(r, persist.ID, now.Add(-100*time.Hour)) // sole (= latest) version of its task
+	dropped, err := r.pruneAt(PruneOpts{MaxAge: 72 * time.Hour}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 1 || dropped[0].ID != avg[0].ID {
+		t.Fatalf("dropped = %v, want just version %d", dropped, avg[0].ID)
+	}
+	if _, err := os.Stat(filepath.Join(dir, avg[0].File)); !os.IsNotExist(err) {
+		t.Fatalf("aged-out file still present (err=%v)", err)
+	}
+	pkey := TaskKey{Model: "Persist", Target: int(forecast.BeHot), H: 3, W: 7}
+	if latest, ok := r.Latest(pkey); !ok || latest.ID != persist.ID {
+		t.Fatalf("ancient task lost its only version: %v, %v", latest, ok)
+	}
+}
+
+// TestPruneWithByteBudget: when retained versions exceed the byte budget,
+// the globally oldest prunable versions go first, and task-latest versions
+// are never sacrificed even if the budget stays busted.
+func TestPruneWithByteBudget(t *testing.T) {
+	c := testContext(t, 80, 8, 22)
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	var vs []Version
+	for day := 30; day < 34; day++ {
+		v, err := r.Publish(fitAt(t, c, day))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs = append(vs, v)
+	}
+	var total int64
+	for _, v := range vs {
+		total += v.SizeBytes
+	}
+	// Budget for roughly two artifacts: the two oldest must go.
+	budget := total - vs[0].SizeBytes - vs[1].SizeBytes
+	dropped, err := r.PruneWith(PruneOpts{MaxTotalBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 2 || dropped[0].ID != vs[0].ID || dropped[1].ID != vs[1].ID {
+		t.Fatalf("dropped = %v, want the two oldest", dropped)
+	}
+	// A budget below even one artifact still keeps the latest serving.
+	dropped, err = r.PruneWith(PruneOpts{MaxTotalBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 1 || dropped[0].ID != vs[2].ID {
+		t.Fatalf("dropped = %v, want just version %d", dropped, vs[2].ID)
+	}
+	key := TaskKey{Model: "Average", Target: int(forecast.BeHot), H: 3, W: 7}
+	if _, _, err := openTest(t, dir).LoadLatest(key); err != nil {
+		t.Fatalf("latest unreadable after byte-budget prune: %v", err)
+	}
+}
+
+// TestPruneWithValidation: criteria must be non-negative and at least one
+// must be enabled; criteria compose with KeepN.
+func TestPruneWithValidation(t *testing.T) {
+	c := testContext(t, 80, 8, 23)
+	r := openTest(t, t.TempDir())
+	for day := 30; day < 33; day++ {
+		if _, err := r.Publish(fitAt(t, c, day)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.PruneWith(PruneOpts{}); err == nil {
+		t.Fatal("criterion-free prune accepted")
+	}
+	if _, err := r.PruneWith(PruneOpts{KeepN: -1, MaxAge: time.Hour}); err == nil {
+		t.Fatal("negative KeepN accepted")
+	}
+	dropped, err := r.PruneWith(PruneOpts{KeepN: 1, MaxAge: 1000 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 2 {
+		t.Fatalf("KeepN=1 dropped %d versions, want 2", len(dropped))
+	}
+}
+
+// mustFit trains any model at day 30 (h=3, w=7) for a second task key.
+func mustFit(t *testing.T, m forecast.Model, c *forecast.Context, day int) forecast.Trained {
+	t.Helper()
+	tr, err := m.Fit(c, forecast.BeHot, day, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}

@@ -478,32 +478,103 @@ func (r *Registry) CacheStats() modelcache.Stats {
 	return r.cache.Stats()
 }
 
-// Prune drops all but the newest keepN versions of every task: the manifest
+// PruneOpts selects which published versions an artifact GC pass drops.
+// Criteria compose: a version is dropped when any enabled criterion
+// condemns it — except a task's latest version, which no criterion may
+// touch (every task keeps serving). Zero values disable a criterion; at
+// least one must be enabled.
+type PruneOpts struct {
+	// KeepN keeps at most the newest N versions of every task (0 = no
+	// per-task count limit).
+	KeepN int
+	// MaxAge drops versions published longer than this ago (0 = no age
+	// limit).
+	MaxAge time.Duration
+	// MaxTotalBytes bounds the summed SizeBytes of all retained versions:
+	// the globally oldest prunable versions (lowest ID) are dropped until
+	// the registry fits the budget or only task-latest versions remain
+	// (0 = no byte budget).
+	MaxTotalBytes int64
+}
+
+// Prune drops all but the newest keepN versions of every task. It is
+// the count-only special case of PruneWith.
+func (r *Registry) Prune(keepN int) ([]Version, error) {
+	if keepN < 1 {
+		return nil, fmt.Errorf("registry: prune must keep at least 1 version, got %d", keepN)
+	}
+	return r.PruneWith(PruneOpts{KeepN: keepN})
+}
+
+// PruneWith garbage-collects published artifacts per opts: the manifest
 // is atomically replaced first, then the dropped artifact files are
 // removed, so a crash mid-prune leaves at worst ignored orphan files.
 // Serving processes that already loaded a dropped version keep their
 // decoded artifact — pruning unpublishes, it cannot yank memory. Returns
-// the dropped versions.
-func (r *Registry) Prune(keepN int) ([]Version, error) {
-	if keepN < 1 {
-		return nil, fmt.Errorf("registry: prune must keep at least 1 version, got %d", keepN)
+// the dropped versions, ascending by ID.
+func (r *Registry) PruneWith(opts PruneOpts) ([]Version, error) {
+	return r.pruneAt(opts, time.Now())
+}
+
+// pruneAt is PruneWith at an explicit clock (tests pin it).
+func (r *Registry) pruneAt(opts PruneOpts, now time.Time) ([]Version, error) {
+	if opts.KeepN < 0 || opts.MaxAge < 0 || opts.MaxTotalBytes < 0 {
+		return nil, fmt.Errorf("registry: negative prune criterion %+v", opts)
+	}
+	if opts.KeepN == 0 && opts.MaxAge == 0 && opts.MaxTotalBytes == 0 {
+		return nil, fmt.Errorf("registry: prune needs at least one criterion (keep-n, max-age or max-bytes)")
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	cur := r.cur.Load()
 	next := cur.m.clone()
-	var dropped []Version
-	for i := range next.Tasks {
-		vs := next.Tasks[i].Versions
-		if len(vs) <= keepN {
-			continue
+	drop := make(map[int]bool)
+	var total int64        // bytes retained so far (latest versions included)
+	var prunable []Version // survivors the byte budget may still claim, any task, non-latest
+	for ti := range next.Tasks {
+		vs := next.Tasks[ti].Versions
+		for i, v := range vs {
+			if i == len(vs)-1 {
+				total += v.SizeBytes // the latest is untouchable
+				continue
+			}
+			byCount := opts.KeepN > 0 && i < len(vs)-opts.KeepN
+			byAge := opts.MaxAge > 0 && now.Sub(time.Unix(v.CreatedUnix, 0)) > opts.MaxAge
+			if byCount || byAge {
+				drop[v.ID] = true
+				continue
+			}
+			total += v.SizeBytes
+			prunable = append(prunable, v)
 		}
-		dropped = append(dropped, vs[:len(vs)-keepN]...)
-		next.Tasks[i].Versions = append([]Version(nil), vs[len(vs)-keepN:]...)
 	}
-	if len(dropped) == 0 {
+	if opts.MaxTotalBytes > 0 && total > opts.MaxTotalBytes {
+		sort.Slice(prunable, func(a, b int) bool { return prunable[a].ID < prunable[b].ID })
+		for _, v := range prunable {
+			if total <= opts.MaxTotalBytes {
+				break
+			}
+			drop[v.ID] = true
+			total -= v.SizeBytes
+		}
+	}
+	if len(drop) == 0 {
 		return nil, nil
 	}
+	var dropped []Version
+	for ti := range next.Tasks {
+		vs := next.Tasks[ti].Versions
+		kept := vs[:0:0]
+		for _, v := range vs {
+			if drop[v.ID] {
+				dropped = append(dropped, v)
+			} else {
+				kept = append(kept, v)
+			}
+		}
+		next.Tasks[ti].Versions = kept
+	}
+	sort.Slice(dropped, func(a, b int) bool { return dropped[a].ID < dropped[b].ID })
 	st, err := r.writeManifest(next)
 	if err != nil {
 		return nil, err
