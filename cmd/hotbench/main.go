@@ -33,6 +33,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/forecast"
 	"repro/internal/mltree"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -51,7 +52,7 @@ type section struct {
 
 // run is the testable entry point: it prepares the environment at the
 // requested scale and streams every experiment's report to out.
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("hotbench", flag.ContinueOnError)
 	var (
 		scaleName    = fs.String("scale", "small", "tiny | small | default | full")
@@ -64,9 +65,17 @@ func run(args []string, out io.Writer) error {
 		skipImpute   = fs.Bool("skip-impute", false, "skip the Fig 5 autoencoder comparison")
 		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile   = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		metricsOut   = fs.String("metrics", "", "write the process metrics exposition to this path at exit (\"-\" = stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metricsOut != "" {
+		defer func() {
+			if derr := obs.Default().Dump(*metricsOut); derr != nil && err == nil {
+				err = fmt.Errorf("metrics dump: %w", derr)
+			}
+		}()
 	}
 
 	// Profiling hooks for perf work on the fit/predict hot path: the CPU

@@ -15,9 +15,16 @@
 // artifact round-robin) and ServeForecastBatch (POST /forecast/batch with
 // -batch queries per request). Each phase reports p50/p90/p99/p999
 // latency in milliseconds, req/s, forecasts/s (query evaluations — a
-// batch of k counts k), and the error count. Every query is warmed once
-// before timing so the measured window is steady-state serving, not
-// first-touch feature-matrix builds.
+// batch of k counts k), the error count, and server-p99-ms (the server's
+// own request-latency p99 over the phase window, read from /metrics).
+// Every query is warmed once before timing so the measured window is
+// steady-state serving, not first-touch feature-matrix builds.
+//
+// hotblast scrapes GET /metrics before and after each phase and
+// cross-checks the server's request and forecast counters against its own
+// client-side counts: a request the server never logged, or a forecast
+// counted on only one side, fails the run. The load generator doubles as
+// an end-to-end audit of the serving metrics.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/benchfmt"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -76,10 +84,21 @@ func run(args []string, out io.Writer) error {
 	}
 
 	report := &benchfmt.Report{}
+	before, err := scrapeMetrics(client, *base)
+	if err != nil {
+		return err
+	}
 	single := runPhase("ServeForecast", *conc, *duration, func(iter int) (int, error) {
 		return 1, getOK(client, *base+"/forecast?"+queries[iter%len(queries)].Encode())
 	})
 	if err := single.check(); err != nil {
+		return err
+	}
+	after, err := scrapeMetrics(client, *base)
+	if err != nil {
+		return err
+	}
+	if err := single.audit(before, after, "/forecast"); err != nil {
 		return err
 	}
 	report.Benchmarks = append(report.Benchmarks, single.entry(*conc))
@@ -87,10 +106,17 @@ func run(args []string, out io.Writer) error {
 
 	if *batch > 0 {
 		body := batchBody(queries, *batch)
+		before = after // the post-single scrape is the batch phase's baseline
 		bp := runPhase("ServeForecastBatch", *conc, *duration, func(iter int) (int, error) {
-			return *batch, postOK(client, *base+"/forecast/batch", body)
+			return postCount(client, *base+"/forecast/batch", body)
 		})
 		if err := bp.check(); err != nil {
+			return err
+		}
+		if after, err = scrapeMetrics(client, *base); err != nil {
+			return err
+		}
+		if err := bp.audit(before, after, "/forecast/batch"); err != nil {
 			return err
 		}
 		report.Benchmarks = append(report.Benchmarks, bp.entry(*conc))
@@ -207,12 +233,56 @@ func getOK(client *http.Client, u string) error {
 	return drainOK(resp)
 }
 
-func postOK(client *http.Client, u string, body []byte) error {
+// postCount posts a batch request and returns how many of its queries
+// evaluated successfully — a 200 batch response carries inline per-query
+// errors, so the body must be parsed, not just drained.
+func postCount(client *http.Client, u string, body []byte) (int, error) {
 	resp, err := client.Post(u, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return drainOK(resp)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var br struct {
+		Results []struct {
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return 0, fmt.Errorf("bad batch response: %w", err)
+	}
+	n := 0
+	for _, r := range br.Results {
+		if r.Error == "" {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// scrapeMetrics fetches and parses GET /metrics.
+func scrapeMetrics(client *http.Client, base string) (obs.Scrape, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("hotblast: /metrics unreachable: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("hotblast: /metrics: HTTP %d", resp.StatusCode)
+	}
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("hotblast: reading /metrics: %w", err)
+	}
+	sc, err := obs.ParseText(string(text))
+	if err != nil {
+		return nil, fmt.Errorf("hotblast: %w", err)
+	}
+	return sc, nil
 }
 
 // drainOK consumes the body (connection reuse) and maps non-200 to an
@@ -228,11 +298,12 @@ func drainOK(resp *http.Response) error {
 
 // phaseResult is one timed load phase.
 type phaseResult struct {
-	name      string
-	elapsed   time.Duration
-	lats      []time.Duration // successful requests only, unsorted
-	forecasts int64
-	errors    int64
+	name        string
+	elapsed     time.Duration
+	lats        []time.Duration // successful requests only, unsorted
+	forecasts   int64
+	errors      int64
+	serverP99ms float64 // server-side request p99 over the phase, from /metrics
 }
 
 // runPhase fans issue across conc workers until the duration elapses.
@@ -282,6 +353,38 @@ func (r *phaseResult) check() error {
 	return nil
 }
 
+// audit cross-checks the server's own counters (scraped from /metrics
+// before and after the phase) against the client-side view, and extracts
+// the server-side request p99 for the report. Any disagreement — a
+// request the server never counted, or a forecast evaluation only one
+// side saw — fails the run: the counters are part of the serving
+// contract, not decoration.
+func (r *phaseResult) audit(before, after obs.Scrape, route string) error {
+	rl := obs.Label{Key: "route", Value: route}
+	reqDelta := after.Counter("hotserve_requests_total", rl) - before.Counter("hotserve_requests_total", rl)
+	attempts := uint64(len(r.lats)) + uint64(r.errors)
+	if reqDelta != attempts {
+		return fmt.Errorf("hotblast: %s: server counted %d %s requests, client issued %d",
+			r.name, reqDelta, route, attempts)
+	}
+	fcDelta := after.Counter("hotserve_forecasts_total") - before.Counter("hotserve_forecasts_total")
+	if fcDelta != uint64(r.forecasts) {
+		return fmt.Errorf("hotblast: %s: server counted %d forecasts, client observed %d",
+			r.name, fcDelta, r.forecasts)
+	}
+	pre, _ := before.Histogram("hotserve_request_seconds", rl)
+	post, ok := after.Histogram("hotserve_request_seconds", rl)
+	if !ok {
+		return fmt.Errorf("hotblast: %s: hotserve_request_seconds{route=%q} missing from /metrics", r.name, route)
+	}
+	window := post.Sub(pre)
+	if window.Count == 0 {
+		return fmt.Errorf("hotblast: %s: server recorded no %s latencies during the phase", r.name, route)
+	}
+	r.serverP99ms = window.P99() * 1e3
+	return nil
+}
+
 // quantile returns the q-th latency (0 < q <= 1) of the sorted slice.
 func quantile(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
@@ -308,22 +411,24 @@ func (r *phaseResult) entry(conc int) benchfmt.Entry {
 		Procs:      conc,
 		Iterations: int64(len(r.lats)),
 		Metrics: map[string]float64{
-			"p50-ms":      ms(quantile(r.lats, 0.50)),
-			"p90-ms":      ms(quantile(r.lats, 0.90)),
-			"p99-ms":      ms(quantile(r.lats, 0.99)),
-			"p999-ms":     ms(quantile(r.lats, 0.999)),
-			"req/s":       float64(len(r.lats)) / secs,
-			"forecasts/s": float64(r.forecasts) / secs,
-			"errors":      float64(r.errors),
+			"p50-ms":        ms(quantile(r.lats, 0.50)),
+			"p90-ms":        ms(quantile(r.lats, 0.90)),
+			"p99-ms":        ms(quantile(r.lats, 0.99)),
+			"p999-ms":       ms(quantile(r.lats, 0.999)),
+			"server-p99-ms": r.serverP99ms,
+			"req/s":         float64(len(r.lats)) / secs,
+			"forecasts/s":   float64(r.forecasts) / secs,
+			"errors":        float64(r.errors),
 		},
 	}
 }
 
 func (r *phaseResult) print(out io.Writer) {
 	sort.Slice(r.lats, func(i, j int) bool { return r.lats[i] < r.lats[j] })
-	fmt.Fprintf(out, "%s: %d requests in %v (%d errors)\n", r.name, len(r.lats), r.elapsed.Round(time.Millisecond), r.errors)
-	fmt.Fprintf(out, "  p50 %.2fms  p90 %.2fms  p99 %.2fms  p999 %.2fms  %.1f req/s  %.1f forecasts/s\n",
+	fmt.Fprintf(out, "%s: %d requests in %v (%d errors, server counters agree)\n",
+		r.name, len(r.lats), r.elapsed.Round(time.Millisecond), r.errors)
+	fmt.Fprintf(out, "  p50 %.2fms  p90 %.2fms  p99 %.2fms  p999 %.2fms  server-p99 %.2fms  %.1f req/s  %.1f forecasts/s\n",
 		ms(quantile(r.lats, 0.50)), ms(quantile(r.lats, 0.90)),
-		ms(quantile(r.lats, 0.99)), ms(quantile(r.lats, 0.999)),
+		ms(quantile(r.lats, 0.99)), ms(quantile(r.lats, 0.999)), r.serverP99ms,
 		float64(len(r.lats))/r.elapsed.Seconds(), float64(r.forecasts)/r.elapsed.Seconds())
 }

@@ -11,14 +11,25 @@ import (
 	"time"
 
 	"repro/internal/benchfmt"
+	"repro/internal/obs"
 )
 
 // fakeServe mimics the hotserve surface hotblast touches: /healthz with an
-// artifact inventory, /forecast and /forecast/batch returning 200.
+// artifact inventory, /forecast and /forecast/batch returning 200, and a
+// /metrics endpoint whose counters stay consistent with the traffic — the
+// real server's contract, which hotblast's audit enforces.
 func fakeServe(t *testing.T) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
 	t.Helper()
 	var singles, batches atomic.Int64
+	reg := obs.NewRegistry()
+	route := func(r string) obs.Label { return obs.Label{Key: "route", Value: r} }
+	reqSingle := reg.Counter("hotserve_requests_total", "requests", route("/forecast"))
+	reqBatch := reg.Counter("hotserve_requests_total", "requests", route("/forecast/batch"))
+	forecasts := reg.Counter("hotserve_forecasts_total", "forecasts")
+	latSingle := reg.Histogram("hotserve_request_seconds", "latency", obs.LatencyBuckets, route("/forecast"))
+	latBatch := reg.Histogram("hotserve_request_seconds", "latency", obs.LatencyBuckets, route("/forecast/batch"))
 	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", obs.Handler(reg))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		_ = json.NewEncoder(w).Encode(map[string]any{
 			"status": "ok",
@@ -29,15 +40,19 @@ func fakeServe(t *testing.T) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
 		})
 	})
 	mux.HandleFunc("GET /forecast", func(w http.ResponseWriter, r *http.Request) {
+		reqSingle.Inc()
 		q := r.URL.Query()
 		if q.Get("model") == "" || q.Get("target") == "" || q.Get("h") == "" || q.Get("w") == "" {
 			http.Error(w, "ambiguous", http.StatusBadRequest)
 			return
 		}
 		singles.Add(1)
+		forecasts.Inc()
+		latSingle.Observe(0.002)
 		_ = json.NewEncoder(w).Encode(map[string]any{"top": []any{}})
 	})
 	mux.HandleFunc("POST /forecast/batch", func(w http.ResponseWriter, r *http.Request) {
+		reqBatch.Inc()
 		var req struct {
 			Queries []json.RawMessage `json:"queries"`
 		}
@@ -46,7 +61,13 @@ func fakeServe(t *testing.T) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
 			return
 		}
 		batches.Add(int64(len(req.Queries)))
-		_ = json.NewEncoder(w).Encode(map[string]any{"results": []any{}})
+		forecasts.Add(uint64(len(req.Queries)))
+		latBatch.Observe(0.010)
+		results := make([]map[string]any, len(req.Queries))
+		for i := range results {
+			results[i] = map[string]any{"top": []any{}}
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"results": results})
 	})
 	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)
@@ -89,7 +110,7 @@ func TestHotblastEndToEnd(t *testing.T) {
 		if e.Procs != 4 || e.Iterations == 0 {
 			t.Fatalf("%s: procs %d iterations %d", name, e.Procs, e.Iterations)
 		}
-		for _, key := range []string{"p50-ms", "p90-ms", "p99-ms", "p999-ms", "req/s", "forecasts/s", "errors"} {
+		for _, key := range []string{"p50-ms", "p90-ms", "p99-ms", "p999-ms", "server-p99-ms", "req/s", "forecasts/s", "errors"} {
 			if _, ok := e.Metrics[key]; !ok {
 				t.Fatalf("%s: metric %s missing: %v", name, key, e.Metrics)
 			}
@@ -99,6 +120,9 @@ func TestHotblastEndToEnd(t *testing.T) {
 		}
 		if e.Metrics["errors"] != 0 || e.Metrics["req/s"] <= 0 {
 			t.Fatalf("%s: errors %v req/s %v", name, e.Metrics["errors"], e.Metrics["req/s"])
+		}
+		if e.Metrics["server-p99-ms"] <= 0 {
+			t.Fatalf("%s: server-p99-ms = %v, want > 0", name, e.Metrics["server-p99-ms"])
 		}
 	}
 	if s, b := byName["ServeForecast"], byName["ServeForecastBatch"]; b.Metrics["forecasts/s"] <= s.Metrics["forecasts/s"] {
@@ -162,6 +186,37 @@ func TestHotblastRefusesBrokenServer(t *testing.T) {
 	if err := run([]string{"-base", sick.URL, "-duration", "100ms"}, &buf); err == nil ||
 		!strings.Contains(err.Error(), "warmup") {
 		t.Fatalf("failing forecast path not caught at warmup: %v", err)
+	}
+}
+
+// A server whose /metrics counters disagree with the traffic it actually
+// served must fail the run — the audit is the point of the scrape.
+func TestHotblastAuditCatchesLyingServer(t *testing.T) {
+	reg := obs.NewRegistry()
+	requests := reg.Counter("hotserve_requests_total", "requests",
+		obs.Label{Key: "route", Value: "/forecast"})
+	reg.Counter("hotserve_forecasts_total", "forecasts") // never incremented: the lie
+	lat := reg.Histogram("hotserve_request_seconds", "latency", obs.LatencyBuckets,
+		obs.Label{Key: "route", Value: "/forecast"})
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", obs.Handler(reg))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status": "ok",
+			"models": []map[string]any{{"model": "RF-F1", "target": "hot-spot", "h": 3, "w": 7}},
+		})
+	})
+	mux.HandleFunc("GET /forecast", func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		lat.Observe(0.001)
+		_ = json.NewEncoder(w).Encode(map[string]any{"top": []any{}})
+	})
+	liar := httptest.NewServer(mux)
+	defer liar.Close()
+	var buf strings.Builder
+	err := run([]string{"-base", liar.URL, "-duration", "100ms", "-concurrency", "2", "-batch", "0"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "forecasts") {
+		t.Fatalf("counter mismatch not surfaced: %v", err)
 	}
 }
 

@@ -55,6 +55,7 @@ import (
 	"repro/internal/forecast"
 	"repro/internal/mathx"
 	"repro/internal/mltree"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/simnet"
 )
@@ -69,7 +70,7 @@ func main() {
 
 // run is the testable entry point: it builds the pipeline, sweeps the
 // requested grid on the parallel engine and prints the lift table on out.
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("hotforecast", flag.ContinueOnError)
 	var (
 		in       = fs.String("in", "", "dataset path (empty = generate)")
@@ -92,9 +93,17 @@ func run(args []string, out io.Writer) error {
 		prune    = fs.Int("prune", 0, "with -registry: keep only the newest N versions of every task")
 		pruneAge = fs.Duration("prune-max-age", 0, "with -registry: also drop versions published longer than this ago (latest per task always kept)")
 		pruneMax = fs.Int64("prune-max-bytes", 0, "with -registry: also drop oldest versions until total artifact bytes fit this budget (latest per task always kept)")
+		metrics  = fs.String("metrics", "", "write the process metrics exposition to this path at exit (\"-\" = stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metrics != "" {
+		defer func() {
+			if derr := obs.Default().Dump(*metrics); derr != nil && err == nil {
+				err = fmt.Errorf("metrics dump: %w", derr)
+			}
+		}()
 	}
 
 	ts, err := parseInts(*tsFlag)

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mltree"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/scenario/evalmatrix"
 )
@@ -37,7 +38,7 @@ func main() {
 }
 
 // run is the testable entry point.
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("hotscen", flag.ContinueOnError)
 	var (
 		list      = fs.Bool("list", false, "list built-in scenario packs and exit")
@@ -56,9 +57,17 @@ func run(args []string, out io.Writer) error {
 		repeats   = fs.Int("repeats", 2, "random rankings per grid point (lift denominator)")
 		workers   = fs.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
 		splitAlgo = fs.String("split-algo", "auto", "tree split algorithm: exact, hist or auto")
+		metrics   = fs.String("metrics", "", "write the process metrics exposition to this path at exit (\"-\" = stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metrics != "" {
+		defer func() {
+			if derr := obs.Default().Dump(*metrics); derr != nil && err == nil {
+				err = fmt.Errorf("metrics dump: %w", derr)
+			}
+		}()
 	}
 
 	if *list {

@@ -66,6 +66,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/forecast"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/registry"
 	"repro/internal/simnet"
@@ -113,6 +114,8 @@ func setup(args []string, out io.Writer) (*server, string, error) {
 		cacheMB  = fs.Int("cache-mb", 256, "feature-matrix cache budget in MiB (0 disables caching)")
 		inflight = fs.Int("max-inflight", 2*runtime.GOMAXPROCS(0), "max concurrent forecast requests; excess gets 503")
 		batchMax = fs.Int("batch-max", 256, "max queries per /forecast/batch request")
+		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving mux")
+		accLog   = fs.Bool("access-log", false, "log one structured line per request (id, route, status, duration, shed reason) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
@@ -141,6 +144,10 @@ func setup(args []string, out io.Writer) (*server, string, error) {
 	s.watch = *watch
 	s.drain = *drain
 	s.batchMax = *batchMax
+	s.accessLog = *accLog
+	if *pprofOn {
+		s.enablePprof()
+	}
 
 	if *regDir != "" {
 		reg, err := registry.Open(*regDir, 0)
@@ -215,12 +222,17 @@ type server struct {
 	active   atomic.Pointer[artifactSet]
 	sem      *parallel.Semaphore
 	mux      *http.ServeMux
+	m        *serverMetrics
 	start    time.Time
 	watch    time.Duration
 	drain    time.Duration
 	batchMax int
 	reloadMu sync.Mutex // serializes reload(): watch ticks vs POST /reload
-	reloads  atomic.Uint64
+
+	// accessLog enables one structured line per request on accessOut.
+	accessLog bool
+	accessOut io.Writer
+	reqID     atomic.Uint64
 
 	// testHookForecast, when non-nil, runs inside every admitted forecast
 	// request — the shutdown-drain and hot-swap tests gate on it.
@@ -231,11 +243,17 @@ type server struct {
 // attached afterwards with setStatic or attachRegistry.
 func newServer(p *core.Pipeline, maxInflight int) *server {
 	s := &server{p: p, sem: parallel.NewSemaphore(maxInflight), mux: http.NewServeMux(),
-		start: time.Now(), drain: 10 * time.Second, batchMax: 256}
+		m: newServerMetrics(), start: time.Now(), drain: 10 * time.Second, batchMax: 256,
+		accessOut: os.Stderr}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /forecast", s.handleForecast)
 	s.mux.HandleFunc("POST /forecast/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /reload", s.handleReload)
+	// One scrape covers the server-scoped series plus the process-wide
+	// library series (caches, kernels, registry, pools).
+	s.mux.Handle("GET /metrics", obs.Handler(obs.Default(), s.m.registry))
+	s.registerInventory()
+	parallel.RegisterSemaphore(s.sem)
 	return s
 }
 
@@ -265,8 +283,20 @@ func (s *server) attachRegistry(reg *registry.Registry) error {
 	return nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. With -access-log the writer is
+// wrapped to capture status and shed reason, and one structured line is
+// emitted per request; without it requests pass straight through with no
+// wrapper allocation.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !s.accessLog {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	rec := &accessRecorder{ResponseWriter: w, status: http.StatusOK}
+	t0 := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	s.logAccess(s.reqID.Add(1), r, rec, time.Since(t0))
+}
 
 // serve runs the HTTP server on ln until ctx is cancelled (SIGINT/SIGTERM
 // in production), then stops accepting and drains in-flight requests for
@@ -360,11 +390,12 @@ func (s *server) reload() (bool, int, error) {
 		return false, len(s.active.Load().models), err
 	}
 	s.active.Store(set)
-	s.reloads.Add(1)
+	s.m.reloads.Inc()
 	return true, len(set.models), nil
 }
 
 func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	s.m.reqReload.Inc()
 	if s.reg == nil {
 		writeJSON(w, http.StatusConflict, map[string]any{
 			"error": "not serving from a registry: restart with -registry to enable hot reload"})
@@ -411,41 +442,19 @@ type descentModel interface {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.m.reqHealthz.Inc()
 	set := s.active.Load()
-	infos := make([]modelInfo, len(set.models))
-	var flattened, binned, mapped int
-	var flatBytes, mmapBytes int64
-	var heapBytes int64
-	for i, sm := range set.models {
-		infos[i] = modelInfo{Model: sm.tr.ModelName(), Target: sm.tr.Target().String(),
-			H: sm.tr.Horizon(), W: sm.tr.Window(), Cutoff: sm.tr.Cutoff(), Version: sm.version}
-		fb := int64(0)
-		if fm, ok := sm.tr.(forecast.FlatModel); ok && fm.FlatBytes() > 0 {
-			flattened++
-			fb = fm.FlatBytes()
-			flatBytes += fb
-		}
-		if dm, ok := sm.tr.(descentModel); ok {
-			infos[i].Descent = dm.DescentMode()
-			infos[i].MmapBytes = dm.MmapBytes()
-			if dm.DescentMode() == "binned" {
-				binned++
-			}
-			if dm.MmapBytes() > 0 {
-				mapped++
-				mmapBytes += dm.MmapBytes()
-			} else {
-				heapBytes += fb
-			}
-		}
-	}
+	// One source of truth with GET /metrics: the inventory numbers come
+	// from the same summarize() the hotserve_* gauges read, and the
+	// counters (batch_calls, reloads) are the obs-backed series.
+	sum := summarize(set)
 	body := map[string]any{
 		"status":    "ok",
 		"mode":      "static",
 		"sectors":   s.p.Sectors(),
 		"days":      s.p.Days(),
 		"uptime_ms": time.Since(s.start).Milliseconds(),
-		"models":    infos,
+		"models":    sum.infos,
 		// The inference engine's vitals: how many active artifacts serve
 		// through the flat batch engine (and how many of those descend on
 		// quantized bin codes), their memory split between mmap-backed
@@ -457,12 +466,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// classifiers; flat_bytes is every engine's full in-memory
 		// accounting regardless of residency.
 		"inference": map[string]any{
-			"flattened_models": flattened,
-			"binned_models":    binned,
-			"mmap_models":      mapped,
-			"flat_bytes":       flatBytes,
-			"mmap_bytes":       mmapBytes,
-			"heap_flat_bytes":  heapBytes,
+			"flattened_models": sum.flattened,
+			"binned_models":    sum.binned,
+			"mmap_models":      sum.mapped,
+			"flat_bytes":       sum.flatBytes,
+			"mmap_bytes":       sum.mmapBytes,
+			"heap_flat_bytes":  sum.heapBytes,
 			"batch_calls":      forecast.BatchPredictCalls(),
 		},
 	}
@@ -470,7 +479,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["mode"] = "registry"
 		body["registry_dir"] = s.reg.Dir()
 		body["generation"] = set.gen
-		body["reloads"] = s.reloads.Load()
+		body["reloads"] = s.m.reloads.Value()
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -536,9 +545,11 @@ type sectorScore struct {
 }
 
 // evaluate resolves fq against the artifact-set snapshot, predicts and
-// ranks. The single and batch endpoints both come here, so their rankings
-// are bit-identical by construction.
-func (s *server) evaluate(set *artifactSet, fq forecastQuery) (map[string]any, *httpError) {
+// ranks, charging each stage (artifact lookup, predict, rank) of a
+// successful evaluation to the stage histograms via sp. The single and
+// batch endpoints both come here, so their rankings are bit-identical by
+// construction (each batch query carries its own span).
+func (s *server) evaluate(set *artifactSet, fq forecastQuery, sp *obs.Span) (map[string]any, *httpError) {
 	tr, herr := selectArtifact(set, fq)
 	if herr != nil {
 		return nil, herr
@@ -551,15 +562,19 @@ func (s *server) evaluate(set *artifactSet, fq forecastQuery) (map[string]any, *
 	if err != nil || k < 1 {
 		return nil, failf(http.StatusBadRequest, "bad k")
 	}
+	sp.Mark(stLookup)
 	scores, err := s.p.Predict(tr, t, tr.Window())
 	if err != nil {
 		return nil, failf(http.StatusBadRequest, "%v", err)
 	}
+	sp.Mark(stPredict)
 	top := core.TopK(scores, k)
 	ranked := make([]sectorScore, len(top))
 	for i, id := range top {
 		ranked[i] = sectorScore{Sector: id, Score: scores[id]}
 	}
+	sp.Mark(stRank)
+	s.m.forecasts.Inc()
 	return map[string]any{
 		"model":        tr.ModelName(),
 		"target":       tr.Target().String(),
@@ -572,23 +587,32 @@ func (s *server) evaluate(set *artifactSet, fq forecastQuery) (map[string]any, *
 }
 
 func (s *server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	s.m.reqForecast.Inc()
+	sp := obs.StartSpan()
 	if !s.sem.TryAcquire() {
+		s.m.shedForecast.Inc()
+		markShed(w, "capacity")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "server at capacity, retry later"})
 		return
 	}
 	defer s.sem.Release()
+	sp.Mark(stAdmission)
 	if s.testHookForecast != nil {
 		s.testHookForecast()
 	}
 
 	start := time.Now()
-	body, herr := s.evaluate(s.active.Load(), queryFromURL(r.URL.Query()))
+	body, herr := s.evaluate(s.active.Load(), queryFromURL(r.URL.Query()), &sp)
 	if herr != nil {
+		s.m.errForecast.Inc()
 		writeJSON(w, herr.status, map[string]any{"error": herr.msg})
 		return
 	}
 	body["elapsed_ms"] = time.Since(start).Milliseconds()
 	writeJSON(w, http.StatusOK, body)
+	sp.Mark(stEncode)
+	s.m.observeStages(&sp)
+	s.m.latForecast.ObserveDuration(sp.Total())
 }
 
 // handleBatch scores many queries in one round trip with weighted
@@ -606,6 +630,8 @@ func (s *server) handleForecast(w http.ResponseWriter, r *http.Request) {
 // queries across cores through internal/parallel. Per-query failures land
 // inline so one bad query cannot void its siblings.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.m.reqBatch.Inc()
+	t0 := time.Now()
 	var req struct {
 		Queries []batchQuery `json:"queries"`
 	}
@@ -614,29 +640,36 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// (512 bytes per query is several times a fully specified one).
 	r.Body = http.MaxBytesReader(w, r.Body, 4096+int64(s.batchMax)*512)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.m.errBatch.Inc()
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
 	if len(req.Queries) == 0 {
+		s.m.errBatch.Inc()
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "empty batch: pass at least one query"})
 		return
 	}
 	if len(req.Queries) > s.batchMax {
+		s.m.errBatch.Inc()
 		writeJSON(w, http.StatusBadRequest, map[string]any{
 			"error": fmt.Sprintf("batch of %d exceeds the %d-query limit", len(req.Queries), s.batchMax)})
 		return
 	}
+	s.m.batchQueries.Add(uint64(len(req.Queries)))
 	cost := len(req.Queries)
 	if max := s.sem.Cap(); cost > max {
 		cost = max
 	}
 	if !s.sem.TryAcquireN(cost) {
+		s.m.shedBatch.Inc()
+		markShed(w, "capacity")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"error": fmt.Sprintf("server at capacity: batch of %d needs %d of %d slots, retry later",
 				len(req.Queries), cost, s.sem.Cap())})
 		return
 	}
 	defer s.sem.ReleaseN(cost)
+	s.m.stageAdmission.ObserveDuration(time.Since(t0))
 	if s.testHookForecast != nil {
 		s.testHookForecast()
 	}
@@ -648,16 +681,26 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		workers = n
 	}
 	results, _ := parallel.Map(workers, req.Queries, func(i int, q batchQuery) (map[string]any, error) {
-		body, herr := s.evaluate(set, q.normalize())
+		// Each query gets its own span: lookup/predict/rank decompose per
+		// forecast, not per HTTP request.
+		qsp := obs.StartSpan()
+		body, herr := s.evaluate(set, q.normalize(), &qsp)
 		if herr != nil {
+			s.m.errBatch.Inc()
 			return map[string]any{"error": herr.msg, "status": herr.status}, nil
 		}
+		s.m.stageLookup.ObserveDuration(qsp.Stage(stLookup))
+		s.m.stagePredict.ObserveDuration(qsp.Stage(stPredict))
+		s.m.stageRank.ObserveDuration(qsp.Stage(stRank))
 		return body, nil
 	})
+	enc0 := time.Now()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"results":    results,
 		"elapsed_ms": time.Since(start).Milliseconds(),
 	})
+	s.m.stageEncode.ObserveDuration(time.Since(enc0))
+	s.m.latBatch.ObserveDuration(time.Since(t0))
 }
 
 // selectArtifact resolves the query's model/target/h/w selectors to

@@ -26,6 +26,9 @@ type Stats struct {
 	Evictions uint64
 	// Oversize counts built values too large to cache at all.
 	Oversize uint64
+	// Waits counts callers that joined another goroutine's in-flight build
+	// of the same key (the single-flight path).
+	Waits    uint64
 	Entries  int
 	Bytes    int64
 	MaxBytes int64
@@ -82,6 +85,7 @@ func (c *Cache[K, V]) GetOrBuild(key K, build func() (V, error)) (V, error) {
 		return v, nil
 	}
 	if call, ok := c.building[key]; ok {
+		c.stats.Waits++
 		c.mu.Unlock()
 		<-call.done
 		return call.v, call.err

@@ -1,0 +1,91 @@
+package bytelru
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+type sizedInt int64
+
+func (s sizedInt) Bytes() int64 { return int64(s) }
+
+// A second caller arriving during a build joins it and is counted as a
+// single-flight wait, not a hit or a miss.
+func TestStatsCountsSingleFlightWaits(t *testing.T) {
+	c := New[string, sizedInt](1 << 20)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.GetOrBuild("k", func() (sizedInt, error) {
+			close(entered)
+			<-release
+			return 8, nil
+		})
+	}()
+	<-entered
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err := c.GetOrBuild("k", func() (sizedInt, error) {
+			t.Error("joined caller must not build")
+			return 0, nil
+		})
+		if err != nil || v != 8 {
+			t.Errorf("joined caller got (%v, %v)", v, err)
+		}
+	}()
+	// Wait until the joiner is registered as waiting, then let the build go.
+	for c.Stats().Waits != 1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses != 1 || s.Waits != 1 {
+		t.Fatalf("stats = %+v, want 0 hits / 1 miss / 1 wait", s)
+	}
+}
+
+func TestRegisterMetricsRendersLiveStats(t *testing.T) {
+	c := New[string, sizedInt](100)
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg, "widgets", c.Stats)
+	c.GetOrBuild("a", func() (sizedInt, error) { return 10, nil })
+	c.GetOrBuild("a", func() (sizedInt, error) { return 10, nil })
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`bytelru_hits_total{cache="widgets"} 1`,
+		`bytelru_misses_total{cache="widgets"} 1`,
+		`bytelru_entries{cache="widgets"} 1`,
+		`bytelru_bytes{cache="widgets"} 10`,
+		`bytelru_max_bytes{cache="widgets"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Re-registering with a new cache's stats swaps the source (latest
+	// wins) — the pattern lazily re-created caches rely on.
+	c2 := New[string, sizedInt](100)
+	RegisterMetrics(reg, "widgets", c2.Stats)
+	sb.Reset()
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `bytelru_hits_total{cache="widgets"} 0`) {
+		t.Fatalf("re-registration did not rebind stats source:\n%s", sb.String())
+	}
+}

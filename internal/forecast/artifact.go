@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/binenc"
 	"repro/internal/features"
@@ -192,14 +192,11 @@ func (a *classifierArtifact) flatten() {
 	}
 }
 
-// batchPredicts counts flat-engine batch evaluations process-wide, for
-// operator visibility (hotserve /healthz): a nonzero, growing count is
-// the signal that serving rides the fast path.
-var batchPredicts atomic.Uint64
-
 // BatchPredictCalls reports how many flat-engine batch evaluations have
-// served Predict calls in this process.
-func BatchPredictCalls() uint64 { return batchPredicts.Load() }
+// served Predict calls in this process, for operator visibility (hotserve
+// /healthz and the forecast_batch_predicts_total series): a nonzero,
+// growing count is the signal that serving rides the fast path.
+func BatchPredictCalls() uint64 { return batchPredictsTotal.Value() }
 
 // FlatModel is implemented by artifacts carrying a compiled batch
 // inference engine; FlatBytes reports its footprint (0 = not flattened).
@@ -274,12 +271,15 @@ func (a *classifierArtifact) Predict(c *Context, t, w int) ([]float64, error) {
 		return nil, fmt.Errorf("forecast: %s artifact trained on %d features, window w=%d yields %d",
 			a.name, a.width, w, got)
 	}
+	f0 := time.Now()
 	pmat, err := c.FeatureMatrix(a.extractor, t, w)
 	if err != nil {
 		return nil, fmt.Errorf("forecast: building prediction matrix: %w", err)
 	}
+	featureFetchSeconds.ObserveDuration(time.Since(f0))
 	n := c.Sectors()
 	out := make([]float64, n)
+	d0 := time.Now()
 	switch {
 	case a.flatTree != nil:
 		a.flatTree.ScoreBatch(pmat.Data, n, out)
@@ -288,9 +288,13 @@ func (a *classifierArtifact) Predict(c *Context, t, w int) ([]float64, error) {
 	case a.flatGBT != nil:
 		a.flatGBT.ScoreBatch(pmat.Data, n, out)
 	default:
-		return out, a.predictWalked(pmat.Data, n, out)
+		err := a.predictWalked(pmat.Data, n, out)
+		predictDescendSeconds.ObserveDuration(time.Since(d0))
+		walkedPredictsTotal.Inc()
+		return out, err
 	}
-	batchPredicts.Add(1)
+	predictDescendSeconds.ObserveDuration(time.Since(d0))
+	batchPredictsTotal.Inc()
 	return out, nil
 }
 

@@ -12,10 +12,12 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/bytelru"
 	"repro/internal/featcache"
 	"repro/internal/features"
 	"repro/internal/mltree"
 	"repro/internal/modelcache"
+	"repro/internal/obs"
 	"repro/internal/score"
 	"repro/internal/tensor"
 	"repro/internal/timegrid"
@@ -269,6 +271,9 @@ func (c *Context) FeatureCache() *featcache.Cache {
 	if c.cache == nil || c.cacheLimit != limit {
 		c.cache = featcache.New(limit)
 		c.cacheLimit = limit
+		// Rebind the exported series to the new cache (latest wins), so
+		// bytelru_*{cache="features"} always reflects the live cache.
+		bytelru.RegisterMetrics(obs.Default(), "features", c.cache.Stats)
 	}
 	return c.cache
 }
@@ -382,6 +387,8 @@ func (c *Context) ModelCache() *modelcache.Cache[Trained] {
 	if c.models == nil || c.modelLimit != limit {
 		c.models = modelcache.New[Trained](limit)
 		c.modelLimit = limit
+		// Latest-wins rebind, as with the feature cache above.
+		bytelru.RegisterMetrics(obs.Default(), "models", c.models.Stats)
 	}
 	return c.models
 }

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"slices"
 	"sync"
+	"time"
 	"unsafe"
 )
 
@@ -679,10 +680,14 @@ func scoreBatchBinned(be *binnedEnsemble, x []float64, n int, inv float64, tail 
 	f := be.f
 	ct, cb := getCodeTile(f)
 	defer codeTilePool.Put(ct)
+	start := time.Now()
+	var quant time.Duration
 	for i0 := 0; i0 < n; i0 += flatRowBlock {
 		i1 := min(i0+flatRowBlock, n)
 		g8 := (i1 - i0) &^ 7
+		q0 := time.Now()
 		be.quantize(x[i0*f:], g8, cb)
+		quant += time.Since(q0)
 		blockOut := out[i0:]
 		for i := range blockOut[:g8] {
 			blockOut[i] = 0
@@ -697,6 +702,8 @@ func scoreBatchBinned(be *binnedEnsemble, x []float64, n int, inv float64, tail 
 			out[i] = tail(i) * inv
 		}
 	}
+	quantizeSeconds.ObserveDuration(quant)
+	descendSeconds.ObserveDuration(time.Since(start) - quant)
 }
 
 // accumulateBinned is the binned twin of FlatGBT.accumulate: stage sums
@@ -708,10 +715,14 @@ func accumulateBinned(be *binnedEnsemble, x []float64, n int, tail func(i int) f
 	f := be.f
 	ct, cb := getCodeTile(f)
 	defer codeTilePool.Put(ct)
+	start := time.Now()
+	var quant time.Duration
 	for i0 := 0; i0 < n; i0 += flatRowBlock {
 		i1 := min(i0+flatRowBlock, n)
 		g8 := (i1 - i0) &^ 7
+		q0 := time.Now()
 		be.quantize(x[i0*f:], g8, cb)
+		quant += time.Since(q0)
 		for ti := range be.roots {
 			be.addTreeBlock(cb, g8, ti, out[i0*stride:], stride)
 		}
@@ -719,6 +730,8 @@ func accumulateBinned(be *binnedEnsemble, x []float64, n int, tail func(i int) f
 			out[i*stride] += tail(i)
 		}
 	}
+	quantizeSeconds.ObserveDuration(quant)
+	descendSeconds.ObserveDuration(time.Since(start) - quant)
 }
 
 // bytes reports the binned twin's memory footprint.

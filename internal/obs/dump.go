@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+)
+
+// Dump writes the registry's text exposition to path; "-" writes to
+// stderr. The batch CLIs' -metrics flag funnels here, so a bench or sweep
+// run leaves behind the same series a server scrape would show.
+func (r *Registry) Dump(path string) error {
+	if path == "-" {
+		return r.WriteText(os.Stderr)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}

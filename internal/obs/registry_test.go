@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryIdempotentAndOrderIndependent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs_total", "requests", Label{"route", "a"}, Label{"code", "200"})
+	b := r.Counter("reqs_total", "requests", Label{"code", "200"}, Label{"route", "a"})
+	if a != b {
+		t.Fatal("same (name, labels) in different order returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("aliased counters out of sync")
+	}
+	if r.Counter("reqs_total", "", Label{"route", "b"}) == a {
+		t.Fatal("different labels returned the same series")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("gauge re-registration of a counter name did not panic")
+			}
+		}()
+		r.Gauge("m_total", "")
+	}()
+	r.Histogram("h_seconds", "", []float64{1, 2})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("histogram bound mismatch did not panic")
+			}
+		}()
+		r.Histogram("h_seconds", "", []float64{1, 3})
+	}()
+}
+
+func TestRegistryInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9leading", "has space", "dash-name"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("bad label name accepted")
+			}
+		}()
+		r.Counter("ok_total", "", Label{"bad-key", "v"})
+	}()
+}
+
+func TestFuncCollectorsReplaceOnReRegister(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("cache_hits_total", "", func() uint64 { return 1 }, Label{"cache", "x"})
+	r.CounterFunc("cache_hits_total", "", func() uint64 { return 7 }, Label{"cache", "x"})
+	r.GaugeFunc("cache_bytes", "", func() float64 { return 3.5 }, Label{"cache", "x"})
+	r.GaugeSet("inventory", "", func() []LabeledValue {
+		return []LabeledValue{
+			{Labels: []Label{{"model", "b"}}, Value: 2},
+			{Labels: []Label{{"model", "a"}}, Value: 1},
+		}
+	})
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`cache_hits_total{cache="x"} 7`, // last registration wins
+		`cache_bytes{cache="x"} 3.5`,
+		`inventory{model="a"} 1`,
+		`inventory{model="b"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// GaugeSet samples render sorted.
+	if strings.Index(out, `model="a"`) > strings.Index(out, `model="b"`) {
+		t.Error("gauge-set samples not sorted by label")
+	}
+}
+
+func TestWriteTextFormatAndRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zreq_total", "total requests", Label{"route", "/forecast"}).Add(5)
+	r.Gauge("zheap_bytes", "heap in use").Set(1024)
+	h := r.Histogram("zlat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP zreq_total total requests",
+		"# TYPE zreq_total counter",
+		`zreq_total{route="/forecast"} 5`,
+		"# TYPE zheap_bytes gauge",
+		"zheap_bytes 1024",
+		"# TYPE zlat_seconds histogram",
+		`zlat_seconds_bucket{le="0.1"} 1`,
+		`zlat_seconds_bucket{le="1"} 2`,
+		`zlat_seconds_bucket{le="+Inf"} 3`,
+		"zlat_seconds_sum 2.55",
+		"zlat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Round-trip: parse the exposition back and recover values, including
+	// the histogram as a usable snapshot.
+	sc, err := ParseText(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Counter("zreq_total", Label{"route", "/forecast"}); got != 5 {
+		t.Fatalf("parsed counter = %d, want 5", got)
+	}
+	if v, ok := sc.Value("zheap_bytes"); !ok || v != 1024 {
+		t.Fatalf("parsed gauge = %v (%v)", v, ok)
+	}
+	snap, ok := sc.Histogram("zlat_seconds")
+	if !ok {
+		t.Fatal("histogram not recovered from scrape")
+	}
+	if snap.Count != 3 || snap.Counts[0] != 1 || snap.Counts[1] != 1 || snap.Counts[2] != 1 {
+		t.Fatalf("recovered snapshot wrong: %+v", snap)
+	}
+	if snap.Sum != 2.55 {
+		t.Fatalf("recovered sum = %v, want 2.55", snap.Sum)
+	}
+	if len(snap.Bounds) != 2 || snap.Bounds[0] != 0.1 || snap.Bounds[1] != 1 {
+		t.Fatalf("recovered bounds wrong: %v", snap.Bounds)
+	}
+}
+
+func TestScrapeHistogramWithLabels(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("stage_seconds", "", []float64{0.1, 1}, Label{"stage", "descend"})
+	h.Observe(0.05)
+	h.Observe(5)
+	other := r.Histogram("stage_seconds", "", []float64{0.1, 1}, Label{"stage", "rank"})
+	other.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseText(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := sc.Histogram("stage_seconds", Label{"stage", "descend"})
+	if !ok {
+		t.Fatal("labeled histogram not found")
+	}
+	if snap.Count != 2 || snap.Counts[0] != 1 || snap.Counts[2] != 1 {
+		t.Fatalf("labeled snapshot wrong: %+v", snap)
+	}
+	if _, ok := sc.Histogram("stage_seconds", Label{"stage", "absent"}); ok {
+		t.Fatal("absent series reported present")
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"name_only_no_value",
+		"metric notanumber",
+		`broken{le="0.1" 3`,
+	} {
+		if _, err := ParseText(bad); err == nil {
+			t.Errorf("ParseText(%q) accepted garbage", bad)
+		}
+	}
+	if sc, err := ParseText("# comment\n\nok_total 3\n"); err != nil || sc.Counter("ok_total") != 3 {
+		t.Fatalf("comments/blanks mishandled: %v %v", sc, err)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Label{"path", `a"b\c`}).Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseText(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Counter("esc_total", Label{"path", `a"b\c`}); got != 1 {
+		t.Fatalf("escaped label did not round-trip: %v", sb.String())
+	}
+}
+
+func TestHandlerServesConcatenatedRegistries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("from_a_total", "").Inc()
+	b.Counter("from_b_total", "").Add(2)
+	rec := httptest.NewRecorder()
+	Handler(a, b).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "from_a_total 1") || !strings.Contains(body, "from_b_total 2") {
+		t.Fatalf("handler output missing series:\n%s", body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+}
+
+func TestDefaultRegistryShared(t *testing.T) {
+	c := Default().Counter("obs_selftest_total", "")
+	before := c.Value()
+	Default().Counter("obs_selftest_total", "").Inc()
+	if c.Value() != before+1 {
+		t.Fatal("Default() did not return the shared registry")
+	}
+}

@@ -1,0 +1,33 @@
+package parallel
+
+import "repro/internal/obs"
+
+// Pool-wide series on the process registry. One set for every pool in the
+// process: the pools are transient (a fan-out builds one, runs it, tears
+// it down), so per-pool series would churn labels; aggregate utilization
+// is the operable signal (is the process saturating its CPU budget, and
+// how deep is the backlog). All updates are single atomic ops on
+// pre-registered series — nothing here allocates on the work path.
+var (
+	poolRuns = obs.Default().Counter("parallel_pools_total",
+		"pool fan-outs launched (Map, For, Gather, Stream)")
+	poolTasks = obs.Default().Counter("parallel_tasks_total",
+		"work items executed by the worker pools")
+	activeWorkers = obs.Default().Gauge("parallel_active_workers",
+		"worker goroutines currently live across all pools")
+	queueDepth = obs.Default().Gauge("parallel_queue_depth",
+		"work items submitted to pools but not yet started")
+)
+
+// RegisterSemaphore exports a semaphore's utilization as the process-wide
+// parallel_semaphore_{in_use,cap} gauges, read live at scrape time. One
+// semaphore per process is the current shape (hotserve's admission gate);
+// a second registration rebinds the gauges to the newest semaphore.
+func RegisterSemaphore(s *Semaphore) {
+	obs.Default().GaugeFunc("parallel_semaphore_in_use",
+		"admission-semaphore slots currently held",
+		func() float64 { return float64(s.InUse()) })
+	obs.Default().GaugeFunc("parallel_semaphore_cap",
+		"admission-semaphore slot capacity",
+		func() float64 { return float64(s.Cap()) })
+}

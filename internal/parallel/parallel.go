@@ -97,10 +97,12 @@ func Stream[T, R any](workers int, items []T, fn func(i int, item T) (R, error),
 	if n == 0 {
 		return nil
 	}
+	poolRuns.Inc()
 	workers = Workers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			r, err := fn(i, items[i])
+			poolTasks.Inc()
 			if err != nil {
 				return err
 			}
@@ -129,6 +131,8 @@ func Stream[T, R any](workers int, items []T, fn func(i int, item T) (R, error),
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			activeWorkers.Add(1)
+			defer activeWorkers.Add(-1)
 			for {
 				mu.Lock()
 				for !stopped && next < n && next >= floor+window {
@@ -142,6 +146,7 @@ func Stream[T, R any](workers int, items []T, fn func(i int, item T) (R, error),
 				next++
 				mu.Unlock()
 				r, err := fn(i, items[i])
+				poolTasks.Inc()
 				mu.Lock()
 				if err != nil {
 					failed[i] = err
@@ -228,6 +233,10 @@ func (s *Semaphore) Release() { <-s.slots }
 // Cap returns the semaphore's slot capacity.
 func (s *Semaphore) Cap() int { return cap(s.slots) }
 
+// InUse returns the number of slots currently held — the live utilization
+// number a gauge reads at scrape time.
+func (s *Semaphore) InUse() int { return len(s.slots) }
+
 // TryAcquireN claims n slots without blocking, all or nothing: on failure
 // no slots remain held. Used for weighted admission, where one request
 // charges a cost proportional to the work it carries (a batch of k
@@ -266,10 +275,12 @@ func run(workers, n int, body func(i int)) {
 	if n == 0 {
 		return
 	}
+	poolRuns.Inc()
 	workers = Workers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			body(i)
+			poolTasks.Inc()
 		}
 		return
 	}
@@ -279,11 +290,16 @@ func run(workers, n int, body func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			activeWorkers.Add(1)
+			defer activeWorkers.Add(-1)
 			for i := range work {
+				queueDepth.Add(-1)
 				body(i)
+				poolTasks.Inc()
 			}
 		}()
 	}
+	queueDepth.Add(int64(n))
 	for i := 0; i < n; i++ {
 		work <- i
 	}

@@ -1,0 +1,19 @@
+package registry
+
+import "repro/internal/obs"
+
+// Registry lifecycle series on the process registry: the publish/reload/
+// prune rates a fleet operator watches (ROADMAP's sharded sweep workers
+// all publish into one of these), plus cold-load latency. The artifact
+// cache itself exports as bytelru_*{cache="registry"}, bound at Open.
+var (
+	publishesTotal = obs.Default().Counter("registry_publishes_total",
+		"artifact versions published (atomic write + manifest replace)")
+	reloadsTotal = obs.Default().Counter("registry_reloads_total",
+		"manifest refreshes that picked up a new snapshot")
+	pruneDropsTotal = obs.Default().Counter("registry_prune_drops_total",
+		"versions dropped by retention pruning")
+	loadSeconds = obs.Default().Histogram("registry_load_seconds",
+		"artifact decode+verify latency per cold load (cache hits skip this)",
+		obs.LatencyBuckets)
+)

@@ -40,8 +40,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bytelru"
 	"repro/internal/forecast"
 	"repro/internal/modelcache"
+	"repro/internal/obs"
 )
 
 // manifestName is the index file inside a registry directory.
@@ -156,6 +158,9 @@ func Open(dir string, cacheBytes int64) (*Registry, error) {
 			cacheBytes = forecast.DefaultModelCacheBytes
 		}
 		r.cache = modelcache.New[forecast.Trained](cacheBytes)
+		// Latest-wins rebind: a process that reopens its registry (tests,
+		// reconfiguration) reports the live handle's cache.
+		bytelru.RegisterMetrics(obs.Default(), "registry", r.cache.Stats)
 	}
 	st, err := r.readManifest()
 	if err != nil {
@@ -226,6 +231,7 @@ func (r *Registry) Refresh() (bool, error) {
 	}
 	st.gen = cur.gen + 1
 	r.cur.Store(st)
+	reloadsTotal.Inc()
 	return true, nil
 }
 
@@ -372,6 +378,7 @@ func (r *Registry) Publish(tr forecast.Trained) (Version, error) {
 	}
 	st.gen = cur.gen + 1
 	r.cur.Store(st)
+	publishesTotal.Inc()
 	return v, nil
 }
 
@@ -429,6 +436,8 @@ func (r *Registry) Get(key TaskKey, id int) (Version, bool) {
 // doctored file fails loudly.
 func (r *Registry) Load(v Version) (forecast.Trained, error) {
 	build := func() (forecast.Trained, error) {
+		l0 := time.Now()
+		defer func() { loadSeconds.ObserveDuration(time.Since(l0)) }()
 		tr, err := forecast.LoadModelFile(filepath.Join(r.dir, v.File))
 		if err != nil {
 			return nil, fmt.Errorf("registry: version %d: %w", v.ID, err)
@@ -584,5 +593,6 @@ func (r *Registry) pruneAt(opts PruneOpts, now time.Time) ([]Version, error) {
 	for _, v := range dropped {
 		_ = os.Remove(filepath.Join(r.dir, v.File))
 	}
+	pruneDropsTotal.Add(uint64(len(dropped)))
 	return dropped, nil
 }
