@@ -29,6 +29,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -45,6 +46,7 @@ import (
 
 	"repro/internal/benchfmt"
 	"repro/internal/obs"
+	"repro/internal/retry"
 )
 
 func main() {
@@ -73,8 +75,16 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("need -concurrency >= 1 and -duration > 0")
 	}
 	client := &http.Client{Timeout: *timeout}
-	queries, err := discover(client, *base)
-	if err != nil {
+	// Discovery retries transient connection failures: hotblast is routinely
+	// started right behind hotserve (CI smokes, operator scripts), and a
+	// connection refused while the server finishes binding is a race, not a
+	// fault. Structural failures (bad body, unhealthy status) fail at once.
+	var queries []url.Values
+	if err := retry.Default().Do(context.Background(), func() error {
+		var derr error
+		queries, derr = discover(client, *base)
+		return derr
+	}); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "driving %s: %d artifact(s), %d workers, %v per phase\n",
@@ -303,15 +313,24 @@ type phaseResult struct {
 	lats        []time.Duration // successful requests only, unsorted
 	forecasts   int64
 	errors      int64
+	retries     int64   // transient-failure re-issues absorbed by backoff
 	serverP99ms float64 // server-side request p99 over the phase, from /metrics
 }
 
 // runPhase fans issue across conc workers until the duration elapses.
 // issue returns how many forecasts (query evaluations) the request
-// produced; its latency is recorded only on success.
+// produced; its latency is recorded only on success. Transient transport
+// failures (a reset connection, an accept-queue race) are retried with
+// jittered backoff and counted in retries rather than errors — the server
+// never saw those attempts, so they must not unbalance the counter audit;
+// a request's recorded latency includes any backoff it absorbed. HTTP-level
+// failures (sheds, bad requests) are never retried: the server counted
+// them, and a load generator's job is to report sheds, not mask them.
 func runPhase(name string, conc int, duration time.Duration, issue func(iter int) (int, error)) *phaseResult {
 	res := &phaseResult{name: name}
-	var forecasts, errors atomic.Int64
+	var forecasts, errors, retries atomic.Int64
+	pol := retry.Default()
+	pol.OnRetry = func(attempt int, err error, delay time.Duration) { retries.Add(1) }
 	perWorker := make([][]time.Duration, conc)
 	start := time.Now()
 	deadline := start.Add(duration)
@@ -323,7 +342,12 @@ func runPhase(name string, conc int, duration time.Duration, issue func(iter int
 			var lats []time.Duration
 			for iter := w; time.Now().Before(deadline); iter++ {
 				reqStart := time.Now()
-				nf, err := issue(iter)
+				var nf int
+				err := pol.Do(context.Background(), func() error {
+					var ierr error
+					nf, ierr = issue(iter)
+					return ierr
+				})
 				if err != nil {
 					errors.Add(1)
 					continue
@@ -341,6 +365,7 @@ func runPhase(name string, conc int, duration time.Duration, issue func(iter int
 	}
 	res.forecasts = forecasts.Load()
 	res.errors = errors.Load()
+	res.retries = retries.Load()
 	return res
 }
 
@@ -419,14 +444,15 @@ func (r *phaseResult) entry(conc int) benchfmt.Entry {
 			"req/s":         float64(len(r.lats)) / secs,
 			"forecasts/s":   float64(r.forecasts) / secs,
 			"errors":        float64(r.errors),
+			"retries":       float64(r.retries),
 		},
 	}
 }
 
 func (r *phaseResult) print(out io.Writer) {
 	sort.Slice(r.lats, func(i, j int) bool { return r.lats[i] < r.lats[j] })
-	fmt.Fprintf(out, "%s: %d requests in %v (%d errors, server counters agree)\n",
-		r.name, len(r.lats), r.elapsed.Round(time.Millisecond), r.errors)
+	fmt.Fprintf(out, "%s: %d requests in %v (%d errors, %d transient retries, server counters agree)\n",
+		r.name, len(r.lats), r.elapsed.Round(time.Millisecond), r.errors, r.retries)
 	fmt.Fprintf(out, "  p50 %.2fms  p90 %.2fms  p99 %.2fms  p999 %.2fms  server-p99 %.2fms  %.1f req/s  %.1f forecasts/s\n",
 		ms(quantile(r.lats, 0.50)), ms(quantile(r.lats, 0.90)),
 		ms(quantile(r.lats, 0.99)), ms(quantile(r.lats, 0.999)), r.serverP99ms,

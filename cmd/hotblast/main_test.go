@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/benchfmt"
 	"repro/internal/obs"
+	"repro/internal/retry"
 )
 
 // fakeServe mimics the hotserve surface hotblast touches: /healthz with an
@@ -227,6 +229,46 @@ func TestHotblastFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-duration", "0s"}, &buf); err == nil {
 		t.Fatal("zero duration accepted")
+	}
+}
+
+// TestRunPhaseRetriesTransient: transient failures are absorbed by backoff
+// and counted as retries, never as errors; non-transient failures are
+// surfaced immediately without a single re-issue.
+func TestRunPhaseRetriesTransient(t *testing.T) {
+	var calls atomic.Int64
+	res := runPhase("ServeForecast", 1, 300*time.Millisecond, func(iter int) (int, error) {
+		if calls.Add(1) <= 2 {
+			return 0, retry.MarkTransient(fmt.Errorf("connection reset by proxy"))
+		}
+		return 1, nil
+	})
+	if res.retries != 2 {
+		t.Fatalf("retries = %d, want 2 (calls=%d)", res.retries, calls.Load())
+	}
+	if res.errors != 0 {
+		t.Fatalf("transient failures leaked into errors: %d", res.errors)
+	}
+	if len(res.lats) == 0 || res.forecasts == 0 {
+		t.Fatalf("phase recorded no successes: lats=%d forecasts=%d", len(res.lats), res.forecasts)
+	}
+	e := res.entry(1)
+	if e.Metrics["retries"] != 2 {
+		t.Fatalf(`entry metric "retries" = %v, want 2`, e.Metrics["retries"])
+	}
+
+	// HTTP-level failures (the server counted them) must not be retried:
+	// every issue call maps to exactly one error, zero retries.
+	calls.Store(0)
+	res = runPhase("ServeForecast", 1, 50*time.Millisecond, func(iter int) (int, error) {
+		calls.Add(1)
+		return 0, fmt.Errorf("HTTP 503")
+	})
+	if res.retries != 0 {
+		t.Fatalf("non-transient failures were retried %d times", res.retries)
+	}
+	if res.errors != calls.Load() {
+		t.Fatalf("errors = %d, issue calls = %d; audit would unbalance", res.errors, calls.Load())
 	}
 }
 

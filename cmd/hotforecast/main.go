@@ -28,6 +28,7 @@
 //	hotforecast -registry ./models -prune 3                        # keep 3 newest/task
 //	hotforecast -registry ./models -prune-max-age 720h             # drop versions >30d old
 //	hotforecast -registry ./models -prune-max-bytes 104857600      # fit a 100 MiB budget
+//	hotforecast -registry ./models -verify                         # fsck: checksum every artifact
 //
 // -registry with a model selection trains like -model-out but publishes
 // the artifact as the new latest version of its task, which a running
@@ -93,6 +94,7 @@ func run(args []string, out io.Writer) (err error) {
 		prune    = fs.Int("prune", 0, "with -registry: keep only the newest N versions of every task")
 		pruneAge = fs.Duration("prune-max-age", 0, "with -registry: also drop versions published longer than this ago (latest per task always kept)")
 		pruneMax = fs.Int64("prune-max-bytes", 0, "with -registry: also drop oldest versions until total artifact bytes fit this budget (latest per task always kept)")
+		verify   = fs.Bool("verify", false, "with -registry: fsck every published artifact against its manifest checksum and exit non-zero if any version is corrupt")
 		metrics  = fs.String("metrics", "", "write the process metrics exposition to this path at exit (\"-\" = stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -135,22 +137,32 @@ func run(args []string, out io.Writer) (err error) {
 	if *prune < 0 || *pruneAge < 0 || *pruneMax < 0 {
 		return fmt.Errorf("prune criteria must be non-negative")
 	}
+	if *verify && (*regDir == "" || *models != "") {
+		return fmt.Errorf("-verify is a standalone registry check: pass -registry and no -models")
+	}
 
-	// Standalone prune touches only the registry — no pipeline needed.
+	// Standalone verify/prune touch only the registry — no pipeline needed.
 	if *regDir != "" && *models == "" {
-		if !wantPrune {
-			return fmt.Errorf("-registry without -models publishes nothing: pass -models to train+publish or a prune criterion to prune")
+		if !wantPrune && !*verify {
+			return fmt.Errorf("-registry without -models publishes nothing: pass -models to train+publish, -verify to fsck, or a prune criterion to prune")
 		}
 		reg, err := registry.Open(*regDir, -1)
 		if err != nil {
 			return err
 		}
-		dropped, err := reg.PruneWith(pruneOpts)
-		if err != nil {
-			return err
+		if *verify {
+			if err := verifyRegistry(reg, out); err != nil {
+				return err
+			}
 		}
-		fmt.Fprintf(out, "pruned %d version(s) from %s (%s)\n",
-			len(dropped), *regDir, describePrune(pruneOpts))
+		if wantPrune {
+			dropped, err := reg.PruneWith(pruneOpts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "pruned %d version(s) from %s (%s)\n",
+				len(dropped), *regDir, describePrune(pruneOpts))
+		}
 		return nil
 	}
 
@@ -284,6 +296,30 @@ func trainToArtifact(p *core.Pipeline, m forecast.Model, tgt forecast.Target, t,
 	fmt.Fprintf(out, "trained %s (target %s, t=%d h=%d w=%d, cutoff day %d) in %v\n",
 		tr.ModelName(), tr.Target(), t, h, w, tr.Cutoff(), time.Since(start).Round(time.Millisecond))
 	fmt.Fprintf(out, "wrote %s (%d bytes); serve it with: hotserve -models %s\n", path, data.Size(), path)
+	return nil
+}
+
+// verifyRegistry is the -verify fsck mode: checksum every published
+// artifact against its manifest entry, report each version's verdict, and
+// fail (non-zero exit) if anything is corrupt — the offline counterpart of
+// the serving layer's quarantine.
+func verifyRegistry(reg *registry.Registry, out io.Writer) error {
+	results := reg.VerifyAll()
+	bad := 0
+	for _, res := range results {
+		if res.Err != nil {
+			bad++
+			fmt.Fprintf(out, "CORRUPT version %d (%s, %s): %v\n",
+				res.Version.ID, res.Key, res.Version.File, res.Err)
+		} else {
+			fmt.Fprintf(out, "ok      version %d (%s, %s)\n",
+				res.Version.ID, res.Key, res.Version.File)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d version(s) failed verification", bad, len(results))
+	}
+	fmt.Fprintf(out, "verified %d version(s): all clean\n", len(results))
 	return nil
 }
 

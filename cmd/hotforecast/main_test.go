@@ -1,12 +1,14 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/faultfs"
 	"repro/internal/forecast"
 	"repro/internal/registry"
 )
@@ -219,12 +221,61 @@ func TestRunRegistryPublishAndPrune(t *testing.T) {
 	}
 }
 
+// TestRunRegistryVerify: the -verify fsck — clean registries pass, a
+// corrupted artifact fails the run with the offending version named.
+func TestRunRegistryVerify(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "models")
+	base := []string{"-sectors", "150", "-weeks", "8", "-seed", "2",
+		"-models", "Average", "-h", "3", "-w", "7", "-registry", dir}
+	if err := run(append(base, "-t", "30"), &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-t", "31"), &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-registry", dir, "-verify"}, &buf); err != nil {
+		t.Fatalf("clean registry failed fsck: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "verified 2 version(s): all clean") {
+		t.Fatalf("verify summary:\n%s", buf.String())
+	}
+
+	reg, err := registry.Open(dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := registry.TaskKey{Model: "Average", Target: int(forecast.BeHot), H: 3, W: 7}
+	v, ok := reg.Latest(key)
+	if !ok {
+		t.Fatal("latest missing")
+	}
+	if err := faultfs.BitFlipFile(filepath.Join(dir, v.File), -2, 3); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	err = run([]string{"-registry", dir, "-verify"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "1 of 2 version(s) failed verification") {
+		t.Fatalf("corrupt registry passed fsck (err=%v)\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), fmt.Sprintf("CORRUPT version %d", v.ID)) {
+		t.Fatalf("fsck report does not name the corrupt version:\n%s", buf.String())
+	}
+}
+
 // TestRunRegistryValidation: flag combinations that would do nothing or
 // conflict are rejected.
 func TestRunRegistryValidation(t *testing.T) {
 	dir := t.TempDir()
 	if err := run([]string{"-registry", dir}, &strings.Builder{}); err == nil {
 		t.Fatal("-registry without -models or -prune accepted")
+	}
+	if err := run([]string{"-verify"}, &strings.Builder{}); err == nil {
+		t.Fatal("-verify without -registry accepted")
+	}
+	if err := run([]string{"-registry", dir, "-verify", "-models", "Average", "-t", "30", "-h", "3"},
+		&strings.Builder{}); err == nil {
+		t.Fatal("-verify combined with a publish accepted")
 	}
 	if err := run([]string{"-registry", dir, "-models", "Average,Trend", "-t", "30", "-h", "3"},
 		&strings.Builder{}); err == nil {

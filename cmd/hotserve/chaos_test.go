@@ -1,0 +1,186 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/forecast"
+	"repro/internal/registry"
+)
+
+// chaosServer is registryServer with the reader's decoded-artifact cache
+// disabled, so every reload re-reads artifact bytes from disk and on-disk
+// corruption is actually observed (a cache hit would serve the good decode
+// from memory and mask the fault).
+func chaosServer(t *testing.T) (*server, *core.Pipeline, *registry.Registry) {
+	t.Helper()
+	p := testPipeline(t)
+	dir := t.TempDir()
+	pub, err := registry.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := p.Train(core.Average, forecast.BeHot, 30, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(tr); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(p, 8)
+	reg, err := registry.Open(dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.attachRegistry(reg); err != nil {
+		t.Fatal(err)
+	}
+	return srv, p, pub
+}
+
+// TestChaosPublishCorruptReloadServe is the end-to-end fault loop: publish
+// a fresh version, corrupt it on disk (bit rot in the payload, a flipped
+// header, a torn tail, a zeroed file), reload, and keep serving. Every
+// round must answer every forecast with 200 from a version that verifies,
+// quarantine the corrupted version, and report the degradation on /healthz
+// while keeping status "ok" (the process is alive — discovery and load
+// balancers must not eject it). A hammer goroutine issues forecasts
+// throughout, so the swaps themselves are covered: zero non-200 responses
+// end to end.
+func TestChaosPublishCorruptReloadServe(t *testing.T) {
+	srv, p, pub := chaosServer(t)
+	dir := pub.Dir()
+
+	var non200, served atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest("GET", "/forecast?model=Average&t=35&k=5", nil))
+			served.Add(1)
+			if rec.Code != 200 {
+				non200.Add(1)
+			}
+		}
+	}()
+	// Hold the fault loop until the hammer has a request through: the
+	// whole test can finish in well under a second on a fast box, and the
+	// point is overlap between the hammer and the swaps.
+	for served.Load() == 0 {
+		runtime.Gosched()
+	}
+
+	corruptions := []struct {
+		name    string
+		corrupt func(path string) error
+	}{
+		{"payload-bitflip", func(path string) error { return faultfs.BitFlipFile(path, -3, 4) }},
+		{"header-bitflip", func(path string) error { return faultfs.BitFlipFile(path, 4, 0) }},
+		{"torn-tail", func(path string) error { return faultfs.TruncateFile(path, 0.5) }},
+		{"zeroed", func(path string) error { return faultfs.TruncateFile(path, 0) }},
+	}
+	goodID := 0
+	if v, ok := srv.reg.Latest(registry.TaskKey{Model: "Average", Target: int(forecast.BeHot), H: 3, W: 7}); ok {
+		goodID = v.ID
+	}
+	for i, tc := range corruptions {
+		tr, err := p.Train(core.Average, forecast.BeHot, 31+i, 3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := pub.Publish(tr)
+		if err != nil {
+			t.Fatalf("%s: publish: %v", tc.name, err)
+		}
+		if err := tc.corrupt(filepath.Join(dir, v.File)); err != nil {
+			t.Fatalf("%s: corrupt: %v", tc.name, err)
+		}
+		code, body := post(t, srv, "/reload", "")
+		if code != 200 {
+			t.Fatalf("%s: reload = %d %v", tc.name, code, body)
+		}
+		code, fc := get(t, srv, "/forecast?model=Average&t=35&k=5")
+		if code != 200 {
+			t.Fatalf("%s: forecast after corrupt reload = %d %v", tc.name, code, fc)
+		}
+		code, hz := get(t, srv, "/healthz")
+		if code != 200 || hz["status"] != "ok" {
+			t.Fatalf("%s: healthz = %d %v", tc.name, code, hz["status"])
+		}
+		if hz["degraded"] != true {
+			t.Fatalf("%s: corrupted latest not reported degraded: %v", tc.name, hz)
+		}
+		quar, _ := hz["quarantined_versions"].(map[string]any)
+		if _, ok := quar[fmt.Sprint(v.ID)]; !ok {
+			t.Fatalf("%s: version %d not in quarantine report %v", tc.name, v.ID, quar)
+		}
+		// The serving set fell back to the good version, not the corrupt one.
+		set := srv.active.Load()
+		if len(set.models) != 1 || set.models[0].version != goodID {
+			t.Fatalf("%s: serving version %d, want fallback to %d", tc.name, set.models[0].version, goodID)
+		}
+	}
+
+	// Final round: every version of the task is corrupt — the previous
+	// generation's decoded artifact is carried forward and the task keeps
+	// serving from memory.
+	for _, task := range pub.List() {
+		for _, v := range task.Versions {
+			if v.ID == goodID {
+				if err := faultfs.BitFlipFile(filepath.Join(dir, v.File), -1, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	tr, err := p.Train(core.Average, forecast.BeHot, 36, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := pub.Publish(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultfs.TruncateFile(filepath.Join(dir, v.File), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := post(t, srv, "/reload", ""); code != 200 {
+		t.Fatalf("all-corrupt reload = %d %v", code, body)
+	}
+	if code, _ := get(t, srv, "/forecast?model=Average&t=35&k=5"); code != 200 {
+		t.Fatalf("forecast with every version corrupt = %d", code)
+	}
+	_, hz := get(t, srv, "/healthz")
+	degraded, _ := hz["degraded_tasks"].([]any)
+	if len(degraded) != 1 {
+		t.Fatalf("degraded_tasks = %v, want the carried task", hz["degraded_tasks"])
+	}
+	d, _ := degraded[0].(map[string]any)
+	if int(d["carried_version"].(float64)) != goodID {
+		t.Fatalf("carried_version = %v, want %d", d["carried_version"], goodID)
+	}
+
+	close(stop)
+	wg.Wait()
+	if non200.Load() != 0 {
+		t.Fatalf("%d of %d hammered forecasts answered non-200", non200.Load(), served.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("hammer goroutine never got a request through")
+	}
+}

@@ -190,12 +190,27 @@ type servedModel struct {
 	version int
 }
 
+// degradedTask records one task a reload could not bring fully up to date:
+// the newest loadable version failed verification (and, when a previous
+// generation held a decoded artifact, that artifact was carried forward so
+// the task keeps serving).
+type degradedTask struct {
+	Task string `json:"task"`
+	// Err is the failure that degraded the task (checksum mismatch, decode
+	// error, fingerprint mismatch).
+	Err string `json:"error"`
+	// CarriedVersion is the previous-generation version still serving the
+	// task; 0 when the task has no servable artifact at all.
+	CarriedVersion int `json:"carried_version,omitempty"`
+}
+
 // artifactSet is one immutable generation of the serving inventory. The
 // active set is swapped wholesale behind an atomic pointer; requests
 // snapshot it once and never observe a half-swapped inventory.
 type artifactSet struct {
-	models []servedModel
-	gen    uint64 // registry generation the set was loaded at
+	models   []servedModel
+	degraded []degradedTask // tasks serving carried-forward (or no) artifacts
+	gen      uint64         // registry generation the set was loaded at
 }
 
 // checkSet rejects empty and ambiguous inventories.
@@ -275,7 +290,7 @@ func (s *server) setStatic(arts []forecast.Trained) error {
 func (s *server) attachRegistry(reg *registry.Registry) error {
 	s.p.AttachRegistry(reg)
 	s.reg = reg
-	set, err := s.loadRegistrySet()
+	set, err := s.loadRegistrySet(nil)
 	if err != nil {
 		return err
 	}
@@ -348,20 +363,41 @@ func (s *server) watchManifest(ctx context.Context, out io.Writer) {
 }
 
 // loadRegistrySet assembles the serving inventory from the registry: the
-// latest version of every published task, each checked against the serving
-// dataset's fingerprint.
-func (s *server) loadRegistrySet() (*artifactSet, error) {
+// latest loadable version of every published task (the registry itself
+// quarantines corrupt versions and falls back to the newest that
+// verifies), each checked against the serving dataset's fingerprint.
+//
+// prev is the currently active set (nil at initial attach). A task whose
+// every version fails verification never voids the whole set: its decoded
+// artifact from prev is carried forward and the task is marked degraded,
+// so one corrupted publish cannot take down tasks that were serving fine —
+// and a partial inventory is never swapped in over a fuller one.
+func (s *server) loadRegistrySet(prev *artifactSet) (*artifactSet, error) {
 	set := &artifactSet{gen: s.reg.Generation()}
+	carry := map[string]servedModel{}
+	if prev != nil {
+		for _, sm := range prev.models {
+			carry[artifactID(sm.tr)] = sm
+		}
+	}
 	for _, task := range s.reg.List() {
 		if len(task.Versions) == 0 {
 			continue
 		}
 		tr, v, err := s.reg.LoadLatest(task.Key)
-		if err != nil {
-			return nil, err
+		if err == nil {
+			if cerr := s.p.CheckArtifact(tr); cerr != nil {
+				err = fmt.Errorf("hotserve: registry version %d: %w", v.ID, cerr)
+			}
 		}
-		if err := s.p.CheckArtifact(tr); err != nil {
-			return nil, fmt.Errorf("hotserve: registry version %d: %w", v.ID, err)
+		if err != nil {
+			d := degradedTask{Task: task.Key.String(), Err: err.Error()}
+			if sm, ok := carry[task.Key.String()]; ok {
+				set.models = append(set.models, sm)
+				d.CarriedVersion = sm.version
+			}
+			set.degraded = append(set.degraded, d)
+			continue
 		}
 		set.models = append(set.models, servedModel{tr: tr, version: v.ID})
 	}
@@ -385,7 +421,7 @@ func (s *server) reload() (bool, int, error) {
 	if s.reg.Generation() == s.active.Load().gen {
 		return false, len(s.active.Load().models), nil
 	}
-	set, err := s.loadRegistrySet()
+	set, err := s.loadRegistrySet(s.active.Load())
 	if err != nil {
 		return false, len(s.active.Load().models), err
 	}
@@ -480,6 +516,16 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["registry_dir"] = s.reg.Dir()
 		body["generation"] = set.gen
 		body["reloads"] = s.m.reloads.Value()
+		// Fault posture. status stays "ok" — the process is alive and
+		// serving — but degraded=true says some artifact failed verification:
+		// either a version was quarantined (serving fell back to an older
+		// one) or a whole task is riding on a carried-forward artifact.
+		quar := s.reg.Quarantined()
+		body["degraded"] = len(quar) > 0 || len(set.degraded) > 0
+		body["quarantined_versions"] = quar
+		if len(set.degraded) > 0 {
+			body["degraded_tasks"] = set.degraded
+		}
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -122,6 +122,15 @@ func (s *server) registerInventory() {
 		func() float64 { return float64(sum().mmapBytes) })
 	reg.GaugeFunc("hotserve_heap_flat_bytes", "flat footprint of heap-resident artifacts",
 		func() float64 { return float64(sum().heapBytes) })
+	reg.GaugeFunc("hotserve_degraded_tasks",
+		"tasks whose newest version failed verification (serving carried-forward or fallback artifacts)",
+		func() float64 {
+			set := s.active.Load()
+			if set == nil {
+				return 0
+			}
+			return float64(len(set.degraded))
+		})
 	reg.GaugeSet("hotserve_artifact_mmap_bytes",
 		"per-artifact mmap-backed bytes (0 = heap-resident)", func() []obs.LabeledValue {
 			set := s.active.Load()

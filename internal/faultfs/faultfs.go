@@ -1,0 +1,375 @@
+// Package faultfs is an injectable filesystem seam for fault-tolerance
+// testing. The artifact lifecycle (publish → manifest swap → mmap load →
+// reload) crosses the filesystem at a handful of operations — create,
+// write, fsync, rename, read, stat — and every production failure mode the
+// serving layer must survive (torn write, truncated read, bit-flip,
+// ENOSPC, fsync failure, rename failure, slow I/O) is an operation-level
+// event. Production code takes an FS (defaulting to the OS passthrough,
+// which adds one interface call per operation and nothing else); the chaos
+// suites wrap it in an Injector programmed with deterministic, seeded
+// rules and assert the stack degrades instead of corrupting or crashing.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op names a filesystem operation a Rule can target.
+type Op string
+
+const (
+	OpOpen   Op = "open"
+	OpCreate Op = "create"
+	OpRead   Op = "read" // ReadFile and File.Read
+	OpWrite  Op = "write"
+	OpSync   Op = "sync"
+	OpRename Op = "rename"
+	OpRemove Op = "remove"
+	OpStat   Op = "stat"
+)
+
+// Mode is what an injected fault does to its operation.
+type Mode string
+
+const (
+	// ModeErr fails the operation outright with the rule's Err.
+	ModeErr Mode = "err"
+	// ModeTorn (writes only) persists roughly half the data, then fails —
+	// the on-disk state a crash mid-write leaves.
+	ModeTorn Mode = "torn"
+	// ModeTruncate (ReadFile only) returns roughly half the real content.
+	ModeTruncate Mode = "truncate"
+	// ModeBitFlip (ReadFile only) flips one deterministically chosen bit.
+	ModeBitFlip Mode = "bitflip"
+	// ModeSlow delays the operation by the rule's Delay, then lets it
+	// proceed normally.
+	ModeSlow Mode = "slow"
+)
+
+// ErrInjected is the default fault error; every injected failure wraps
+// either it or the rule's explicit Err, so tests can tell injected faults
+// from real ones.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Rule programs one fault: operations matching (Op, PathContains) suffer
+// Mode, starting after the first After matches and at most Count times.
+type Rule struct {
+	// Op selects the operation class; empty matches every operation.
+	Op Op
+	// PathContains filters by substring of the operation's path; empty
+	// matches every path. Rename matches against the destination.
+	PathContains string
+	// Mode is the fault to inject.
+	Mode Mode
+	// After skips the first After matching operations (0 = fire at once).
+	After int
+	// Count bounds how many times the rule fires (0 = unlimited).
+	Count int
+	// Err overrides the error for ModeErr/ModeTorn (nil = ErrInjected).
+	// Use syscall errnos (ENOSPC, EIO...) to exercise classification.
+	Err error
+	// Delay is the added latency for ModeSlow.
+	Delay time.Duration
+}
+
+// File is the open-file surface the artifact stack needs.
+type File interface {
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the artifact stack needs. All
+// implementations must be safe for concurrent use.
+type FS interface {
+	Open(path string) (File, error)
+	Create(path string) (File, error)
+	ReadFile(path string) ([]byte, error)
+	Stat(path string) (os.FileInfo, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// OS is the passthrough filesystem: every call forwards to the os package.
+var OS FS = osFS{}
+
+// IsOS reports whether fsys is the plain OS passthrough (or nil, which
+// callers treat the same way). The mmap load path uses this to decide the
+// file can be mapped directly rather than read through the interface.
+func IsOS(fsys FS) bool {
+	if fsys == nil {
+		return true
+	}
+	_, ok := fsys.(osFS)
+	return ok
+}
+
+type osFS struct{}
+
+func (osFS) Open(path string) (File, error)   { return os.Open(path) }
+func (osFS) Create(path string) (File, error) { return os.Create(path) }
+func (osFS) ReadFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+func (osFS) Stat(path string) (os.FileInfo, error) { return os.Stat(path) }
+func (osFS) Rename(oldpath, newpath string) error  { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error              { return os.Remove(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+
+// Injector wraps an FS and applies programmed fault rules. Rule matching
+// and the corruption RNG are serialized, so concurrent use is
+// deterministic given a fixed operation order.
+type Injector struct {
+	inner FS
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*activeRule
+	fired int
+}
+
+type activeRule struct {
+	Rule
+	seen  int // matching operations observed
+	count int // faults fired
+}
+
+// New wraps inner with the given rules. seed fixes the corruption RNG
+// (bit positions for ModeBitFlip), so a failing chaos iteration replays
+// exactly.
+func New(inner FS, seed int64, rules ...Rule) *Injector {
+	inj := &Injector{inner: inner, rng: rand.New(rand.NewSource(seed))}
+	for i := range rules {
+		inj.rules = append(inj.rules, &activeRule{Rule: rules[i]})
+	}
+	return inj
+}
+
+// Fired reports how many faults have been injected so far — chaos loops
+// assert it is nonzero, proving the scenario actually exercised the fault.
+func (inj *Injector) Fired() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.fired
+}
+
+// match returns the first rule that fires for (op, path), updating
+// bookkeeping, or nil. At most one rule fires per operation.
+func (inj *Injector) match(op Op, path string) *activeRule {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for _, r := range inj.rules {
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.count >= r.Count {
+			continue
+		}
+		r.count++
+		inj.fired++
+		return r
+	}
+	return nil
+}
+
+// fail builds the rule's error for an operation on path.
+func (r *activeRule) fail(op Op, path string) error {
+	cause := r.Err
+	if cause == nil {
+		cause = ErrInjected
+	}
+	return fmt.Errorf("faultfs: %s %s on %s: %w", r.Mode, op, path, cause)
+}
+
+// apply handles the modes common to whole operations (err, slow). It
+// returns a non-nil error when the operation must fail, and reports
+// whether a rule fired at all.
+func (inj *Injector) apply(op Op, path string) error {
+	r := inj.match(op, path)
+	if r == nil {
+		return nil
+	}
+	switch r.Mode {
+	case ModeSlow:
+		time.Sleep(r.Delay)
+		return nil
+	default:
+		return r.fail(op, path)
+	}
+}
+
+func (inj *Injector) Open(path string) (File, error) {
+	if err := inj.apply(OpOpen, path); err != nil {
+		return nil, err
+	}
+	f, err := inj.inner.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: inj, f: f, path: path}, nil
+}
+
+func (inj *Injector) Create(path string) (File, error) {
+	if err := inj.apply(OpCreate, path); err != nil {
+		return nil, err
+	}
+	f, err := inj.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: inj, f: f, path: path}, nil
+}
+
+func (inj *Injector) ReadFile(path string) ([]byte, error) {
+	r := inj.match(OpRead, path)
+	if r != nil {
+		switch r.Mode {
+		case ModeSlow:
+			time.Sleep(r.Delay)
+		case ModeTruncate, ModeBitFlip:
+			data, err := inj.inner.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			return inj.corrupt(r.Mode, data), nil
+		default:
+			return nil, r.fail(OpRead, path)
+		}
+	}
+	return inj.inner.ReadFile(path)
+}
+
+// corrupt applies a data-level fault to a read's result.
+func (inj *Injector) corrupt(mode Mode, data []byte) []byte {
+	switch mode {
+	case ModeTruncate:
+		return data[:len(data)/2]
+	case ModeBitFlip:
+		if len(data) == 0 {
+			return data
+		}
+		out := append([]byte(nil), data...)
+		inj.mu.Lock()
+		pos := inj.rng.Intn(len(out))
+		bit := inj.rng.Intn(8)
+		inj.mu.Unlock()
+		out[pos] ^= 1 << bit
+		return out
+	}
+	return data
+}
+
+func (inj *Injector) Stat(path string) (os.FileInfo, error) {
+	if err := inj.apply(OpStat, path); err != nil {
+		return nil, err
+	}
+	return inj.inner.Stat(path)
+}
+
+func (inj *Injector) Rename(oldpath, newpath string) error {
+	if err := inj.apply(OpRename, newpath); err != nil {
+		return err
+	}
+	return inj.inner.Rename(oldpath, newpath)
+}
+
+func (inj *Injector) Remove(path string) error {
+	if err := inj.apply(OpRemove, path); err != nil {
+		return err
+	}
+	return inj.inner.Remove(path)
+}
+
+func (inj *Injector) MkdirAll(path string, perm os.FileMode) error {
+	return inj.inner.MkdirAll(path, perm)
+}
+
+// injFile threads write/sync/read faults through an open file.
+type injFile struct {
+	inj  *Injector
+	f    File
+	path string
+}
+
+func (f *injFile) Read(p []byte) (int, error) {
+	if err := f.inj.apply(OpRead, f.path); err != nil {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	r := f.inj.match(OpWrite, f.path)
+	if r != nil {
+		switch r.Mode {
+		case ModeSlow:
+			time.Sleep(r.Delay)
+		case ModeTorn:
+			// Persist half, then fail: the bytes that made it out before the
+			// "crash" are really on disk for the recovery path to trip over.
+			n, _ := f.f.Write(p[:len(p)/2])
+			return n, r.fail(OpWrite, f.path)
+		default:
+			return 0, r.fail(OpWrite, f.path)
+		}
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	if err := f.inj.apply(OpSync, f.path); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *injFile) Close() error { return f.f.Close() }
+
+// BitFlipFile flips one deterministically chosen bit of the file at path
+// in place — corrupting a published artifact the way a storage-level
+// bit-rot event would. offset selects the byte (negative counts from the
+// end); bit selects the bit within it.
+func BitFlipFile(path string, offset int64, bit uint) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("faultfs: %s is empty, nothing to corrupt", path)
+	}
+	if offset < 0 {
+		offset += int64(len(data))
+	}
+	if offset < 0 || offset >= int64(len(data)) {
+		return fmt.Errorf("faultfs: offset %d outside %s (%d bytes)", offset, path, len(data))
+	}
+	data[offset] ^= 1 << (bit % 8)
+	return os.WriteFile(path, data, 0o644)
+}
+
+// TruncateFile cuts the file at path to frac of its current size in
+// place — a torn write or partial copy discovered after the fact.
+func TruncateFile(path string, frac float64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.Truncate(path, int64(float64(fi.Size())*frac))
+}

@@ -1,0 +1,210 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.bin")
+	f, err := OS.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if fi, err := OS.Stat(path); err != nil || fi.Size() != 5 {
+		t.Fatalf("Stat = %v, %v", fi, err)
+	}
+	moved := filepath.Join(dir, "b.bin")
+	if err := OS.Rename(path, moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Remove(moved); err != nil {
+		t.Fatal(err)
+	}
+	if !IsOS(OS) || !IsOS(nil) {
+		t.Fatal("IsOS misclassifies the passthrough")
+	}
+}
+
+func writeFile(t *testing.T, fsys FS, path, content string) error {
+	t.Helper()
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func TestInjectErrOnWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(OS, 1, Rule{Op: OpWrite, Mode: ModeErr, Err: syscall.ENOSPC})
+	err := writeFile(t, inj, filepath.Join(dir, "x"), "data")
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write error = %v, want ENOSPC", err)
+	}
+	if inj.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", inj.Fired())
+	}
+	if IsOS(inj) {
+		t.Fatal("IsOS true for an Injector")
+	}
+}
+
+func TestInjectTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	inj := New(OS, 1, Rule{Op: OpWrite, Mode: ModeTorn})
+	err := writeFile(t, inj, path, "0123456789")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write error = %v, want ErrInjected", err)
+	}
+	// Half the bytes really landed: that's the torn on-disk state.
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(data) != "01234" {
+		t.Fatalf("on-disk after torn write = %q, want first half", data)
+	}
+}
+
+func TestInjectReadCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data")
+	if err := os.WriteFile(path, []byte("0123456789abcdef"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trunc := New(OS, 1, Rule{Op: OpRead, Mode: ModeTruncate})
+	data, err := trunc.ReadFile(path)
+	if err != nil || len(data) != 8 {
+		t.Fatalf("truncated read = %d bytes, %v; want 8", len(data), err)
+	}
+
+	flip := New(OS, 42, Rule{Op: OpRead, Mode: ModeBitFlip, Count: 1})
+	mut, err := flip.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range mut {
+		if mut[i] != "0123456789abcdef"[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit flip changed %d bytes, want exactly 1", diff)
+	}
+	// Count exhausted: the next read is clean.
+	clean, err := flip.ReadFile(path)
+	if err != nil || string(clean) != "0123456789abcdef" {
+		t.Fatalf("read after count exhausted = %q, %v", clean, err)
+	}
+	// The flip is deterministic under the seed.
+	flip2 := New(OS, 42, Rule{Op: OpRead, Mode: ModeBitFlip, Count: 1})
+	mut2, _ := flip2.ReadFile(path)
+	if string(mut) != string(mut2) {
+		t.Fatal("bit flip not deterministic under a fixed seed")
+	}
+}
+
+func TestInjectAfterAndPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "keep.json"), filepath.Join(dir, "hit.json")
+	os.WriteFile(a, []byte("a"), 0o644)
+	os.WriteFile(b, []byte("b"), 0o644)
+	inj := New(OS, 1, Rule{Op: OpRead, PathContains: "hit", Mode: ModeErr, After: 1})
+	if _, err := inj.ReadFile(a); err != nil {
+		t.Fatalf("non-matching path failed: %v", err)
+	}
+	if _, err := inj.ReadFile(b); err != nil {
+		t.Fatalf("After=1 should let the first matching read through: %v", err)
+	}
+	if _, err := inj.ReadFile(b); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second matching read = %v, want injected error", err)
+	}
+}
+
+func TestInjectSyncAndRename(t *testing.T) {
+	dir := t.TempDir()
+	inj := New(OS, 1,
+		Rule{Op: OpSync, Mode: ModeErr, Count: 1},
+		Rule{Op: OpRename, Mode: ModeErr, Count: 1},
+	)
+	err := writeFile(t, inj, filepath.Join(dir, "f"), "x")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync error = %v", err)
+	}
+	if err := inj.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename error = %v", err)
+	}
+	// Both rules spent: subsequent ops are clean.
+	if err := writeFile(t, inj, filepath.Join(dir, "h"), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Rename(filepath.Join(dir, "h"), filepath.Join(dir, "i")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectSlow(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slow")
+	os.WriteFile(path, []byte("x"), 0o644)
+	inj := New(OS, 1, Rule{Op: OpRead, Mode: ModeSlow, Delay: 20 * time.Millisecond})
+	t0 := time.Now()
+	if _, err := inj.ReadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 15*time.Millisecond {
+		t.Fatalf("slow read took %v, want >= 20ms of injected latency", d)
+	}
+}
+
+func TestBitFlipFileAndTruncateFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact")
+	orig := []byte("0123456789abcdef")
+	os.WriteFile(path, orig, 0o644)
+	if err := BitFlipFile(path, -4, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if data[12] == orig[12] || string(data[:12]) != string(orig[:12]) {
+		t.Fatalf("BitFlipFile changed the wrong byte: %q", data)
+	}
+	if err := TruncateFile(path, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != 8 {
+		t.Fatalf("TruncateFile left %d bytes, want 8", fi.Size())
+	}
+	if err := BitFlipFile(filepath.Join(dir, "missing"), 0, 0); err == nil {
+		t.Fatal("BitFlipFile on a missing file succeeded")
+	}
+}

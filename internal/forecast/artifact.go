@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/binenc"
+	"repro/internal/faultfs"
 	"repro/internal/features"
 	"repro/internal/mltree"
 	"repro/internal/mmapfile"
@@ -340,15 +341,27 @@ func (a *classifierArtifact) Importances() []float64 { return a.importances }
 var artifactMagic = [4]byte{'H', 'O', 'T', 'M'}
 
 // ArtifactVersion is the serialization format version this build writes.
-// Version 3 made the compiled flat engine the serialized form: classifier
-// payloads carry the inference engine's own arrays as 8-byte-aligned
-// little-endian sections (aligned from the file's first byte), so a decode
-// over an aligned buffer — in particular a memory-mapped file — aliases
-// the sections in place and costs O(1) in the node count. Version 2 added
-// the training-dataset fingerprint (u64, after the cutoff); version 1
-// predates it. Both legacy versions (walked-learner payloads) still
-// decode, recompiling their flat engines on the heap.
-const ArtifactVersion uint16 = 3
+// Version 4 added the integrity block (see integrity.go): a fixed 42-byte
+// header carrying the payload-section offset and per-section content
+// checksums, so the load path verifies the whole file in one streaming
+// pass before aliasing anything. Version 3 made the compiled flat engine
+// the serialized form: classifier payloads carry the inference engine's
+// own arrays as 8-byte-aligned little-endian sections (aligned from the
+// file's first byte), so a decode over an aligned buffer — in particular
+// a memory-mapped file — aliases the sections in place and costs O(1) in
+// the node count. Version 2 added the training-dataset fingerprint (u64,
+// after the cutoff); version 1 predates it. All legacy versions still
+// decode: v3 through the fully validating scan (it has no checksum to
+// gate on), v1/v2 recompiling their walked-learner payloads on the heap.
+const ArtifactVersion uint16 = 4
+
+// artifactVersionChecksum is the first envelope carrying the integrity
+// block; earlier versions have no checksum and never decode trusted.
+const artifactVersionChecksum uint16 = 4
+
+// artifactVersionFlat is the first envelope whose classifier payload is
+// the compiled flat engine (and the last before the integrity block).
+const artifactVersionFlat uint16 = 3
 
 // artifactVersionWalked is the last envelope whose classifier payload was
 // the walked pointer learner; still read for backward compatibility.
@@ -362,18 +375,22 @@ const artifactVersionNoFP uint16 = 1
 // format. Decoding the result with DecodeModel yields an artifact whose
 // Predict is bit-identical on any context.
 func EncodeModel(tr Trained) ([]byte, error) {
+	noop := func(b []byte) []byte { return b }
 	var kind uint8
-	var payload func(b []byte) []byte
+	// meta extends the meta section with the classifier preamble; engine
+	// appends the payload section (the flat inference engine).
+	meta, engine := noop, noop
 	switch a := tr.(type) {
 	case *baselineArtifact:
 		kind = a.kind
-		payload = func(b []byte) []byte { return b }
 	case *classifierArtifact:
 		kind = a.kind
-		payload = func(b []byte) []byte {
+		meta = func(b []byte) []byte {
 			b = binenc.AppendString(b, a.extractor.Name())
 			b = binenc.AppendU32(b, uint32(a.width))
-			b = binenc.AppendF64s(b, a.importances)
+			return binenc.AppendF64s(b, a.importances)
+		}
+		engine = func(b []byte) []byte {
 			// The flat engine is the serialized form (always present: Fit
 			// and every decode arm compile it). Its raw sections are padded
 			// to 8-byte offsets measured from the buffer start, i.e. from
@@ -393,6 +410,9 @@ func EncodeModel(tr Trained) ([]byte, error) {
 	}
 	b := append([]byte(nil), artifactMagic[:]...)
 	b = binenc.AppendU16(b, ArtifactVersion)
+	// Reserve the integrity block (payload offset + two section sums);
+	// stampEnvelope backpatches it once the sections exist.
+	b = append(b, make([]byte, envHeaderSize-len(b))...)
 	b = binenc.AppendU8(b, kind)
 	b = binenc.AppendU8(b, uint8(tr.Target()))
 	b = binenc.AppendU32(b, uint32(tr.Horizon()))
@@ -400,7 +420,11 @@ func EncodeModel(tr Trained) ([]byte, error) {
 	b = binenc.AppendI32(b, int32(tr.Cutoff()))
 	b = binenc.AppendU64(b, tr.DatasetFingerprint())
 	b = binenc.AppendString(b, tr.ModelName())
-	return payload(b), nil
+	b = meta(b)
+	payloadOff := len(b)
+	b = engine(b)
+	stampEnvelope(b, payloadOff)
+	return b, nil
 }
 
 // DecodeModel reads an artifact serialized by EncodeModel. Corrupt input —
@@ -431,6 +455,17 @@ func decodeModel(data []byte, trusted bool) (Trained, error) {
 	v := r.U16()
 	if v < artifactVersionNoFP || v > ArtifactVersion {
 		return nil, fmt.Errorf("forecast: artifact version %d unsupported (this build reads versions %d-%d)", v, artifactVersionNoFP, ArtifactVersion)
+	}
+	if v >= artifactVersionChecksum {
+		// Checksummed envelope: an untrusted decode enforces the section
+		// sums on top of the structural scan (a value-level bit flip can
+		// preserve structure); the trusted caller already verified them.
+		if !trusted {
+			if _, err := VerifyEnvelope(data); err != nil {
+				return nil, err
+			}
+		}
+		r.Skip(envHeaderSize - 6) // the integrity block; verified above
 	}
 	kind := r.U8()
 	target := Target(r.U8())
@@ -476,7 +511,7 @@ func decodeModel(data []byte, trusted bool) (Trained, error) {
 		}
 		var learnerFeatures int
 		if v > artifactVersionWalked {
-			// Version 3: the payload is the flat engine itself; no walked
+			// Version 3+: the payload is the flat engine itself; no walked
 			// learner exists and no flatten() recompilation is needed.
 			switch kind {
 			case kindTree:
@@ -545,24 +580,70 @@ func SaveModel(path string, tr Trained) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
+// decodeVerified is the load path's decode policy: a checksummed (v4)
+// envelope is verified in one streaming pass and then decoded trusted —
+// the gate that replaced blanket trust in on-disk files — while a legacy
+// envelope, which has no checksum to gate on, takes the fully validating
+// untrusted decode. Either way a corrupt file fails loudly before the
+// unchecked flat kernels can run over it. The returned Sum is the
+// whole-envelope checksum (zero for legacy envelopes).
+func decodeVerified(data []byte) (Trained, binenc.Sum, error) {
+	sum, err := VerifyEnvelope(data)
+	if err != nil {
+		return nil, binenc.Sum{}, err
+	}
+	tr, err := decodeModel(data, !sum.IsZero())
+	return tr, sum, err
+}
+
 // LoadModelFile loads an artifact written by SaveModel, memory-mapping it
-// where the platform supports that. A version-3 classifier served from a
-// mapping aliases the file's flat sections in place: nothing is copied,
-// load time is independent of node count, and the model's pages fault in
-// lazily from the page cache (shared across processes mapping the same
-// file). The file is trusted at the level of the binary's own code pages —
-// it is operator-provisioned, so the O(nodes) structural validation that
-// DecodeModel applies to arbitrary bytes is skipped here. The mapping is
-// held alive by the returned artifact and released by its finalizer.
+// where the platform supports that. A flat-payload classifier served from
+// a mapping aliases the file's flat sections in place: nothing is copied
+// and the model's pages fault in from the page cache (shared across
+// processes mapping the same file). Trust is earned, not assumed: a v4
+// envelope must pass its checksum gate (one streaming pass, far cheaper
+// than the O(nodes) structural scan) before the sections are aliased,
+// and a legacy envelope without checksums gets the full untrusted
+// validation. The mapping is held alive by the returned artifact and
+// released by its finalizer.
 func LoadModelFile(path string) (Trained, error) {
+	tr, _, err := LoadModelFileSum(nil, path)
+	return tr, err
+}
+
+// LoadModelFileFS is LoadModelFile through an injectable filesystem: the
+// plain OS passthrough (or nil) takes the mmap fast path, while any other
+// FS — the fault injector — is read through the interface into the heap,
+// so injected corruption (torn writes, truncation, bit flips) flows
+// through exactly the same checksum gate the mmap path runs.
+func LoadModelFileFS(fsys faultfs.FS, path string) (Trained, error) {
+	tr, _, err := LoadModelFileSum(fsys, path)
+	return tr, err
+}
+
+// LoadModelFileSum is LoadModelFileFS plus the envelope's whole-file
+// checksum (zero for legacy envelopes), letting callers — the registry —
+// cross-check a manifest-stamped sum without a second pass over the file.
+func LoadModelFileSum(fsys faultfs.FS, path string) (Trained, binenc.Sum, error) {
+	if !faultfs.IsOS(fsys) {
+		data, err := fsys.ReadFile(path)
+		if err != nil {
+			return nil, binenc.Sum{}, err
+		}
+		tr, sum, err := decodeVerified(data)
+		if err != nil {
+			return nil, binenc.Sum{}, fmt.Errorf("forecast: %s: %w", path, err)
+		}
+		return tr, sum, nil
+	}
 	f, err := mmapfile.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, binenc.Sum{}, err
 	}
-	tr, err := decodeModel(f.Data(), true)
+	tr, sum, err := decodeVerified(f.Data())
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("forecast: %s: %w", path, err)
+		return nil, binenc.Sum{}, fmt.Errorf("forecast: %s: %w", path, err)
 	}
 	a, ok := tr.(*classifierArtifact)
 	if !ok || !f.Mapped() || a.FlatBytes() == 0 || a.tree != nil || a.forest != nil || a.gbt != nil {
@@ -571,10 +652,10 @@ func LoadModelFile(path string) (Trained, error) {
 		// heap-read File has no mapping to manage — none of them alias the
 		// buffer, so the mapping can go.
 		f.Close()
-		return tr, nil
+		return tr, sum, nil
 	}
 	a.backing = f
 	a.mmapBytes = int64(len(f.Data()))
 	runtime.SetFinalizer(a, func(a *classifierArtifact) { a.backing.Close() })
-	return tr, nil
+	return tr, sum, nil
 }

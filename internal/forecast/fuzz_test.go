@@ -38,6 +38,14 @@ func FuzzDecodeModel(f *testing.F) {
 	for _, s := range fuzzSeedArtifacts(f) {
 		f.Add(s)
 		f.Add(s[:len(s)-1])
+		// Bit-flip corpora: single flips in the integrity block, the meta
+		// section and the payload tail — regression seeds for the checksum
+		// gate (each must be rejected, never decoded into garbage).
+		for _, pos := range []int{8, len(s) / 2, len(s) - 3} {
+			mut := append([]byte(nil), s...)
+			mut[pos] ^= 0x10
+			f.Add(mut)
+		}
 	}
 	f.Add([]byte("HOTM"))
 	f.Fuzz(func(t *testing.T, data []byte) {

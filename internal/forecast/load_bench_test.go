@@ -61,6 +61,21 @@ func BenchmarkLoadModelMmap(b *testing.B) {
 	}
 }
 
+// BenchmarkVerifyEnvelope: the checksum gate alone — the streaming pass
+// the mmap load runs before aliasing sections. Its cost bounds what
+// integrity adds to BenchmarkLoadModelMmap.
+func BenchmarkVerifyEnvelope(b *testing.B) {
+	_, data := loadBenchSetup(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := VerifyEnvelope(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDecodeModelChecked: the untrusted decode path — same bytes,
 // but every node record is validated (O(nodes)) before the unchecked
 // descent kernels may run over it.

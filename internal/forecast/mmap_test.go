@@ -7,10 +7,10 @@ import (
 	"repro/internal/binenc"
 )
 
-// TestArtifactMmapLoad: LoadModelFile serves version-3 classifiers
-// straight from a memory mapping (where the platform has one) with
-// predictions bit-identical to a heap decode of the same bytes, and the
-// descent mode surviving the trip.
+// TestArtifactMmapLoad: LoadModelFile serves flat-payload classifiers
+// straight from a memory mapping (where the platform has one) — after
+// the checksum gate passes — with predictions bit-identical to a heap
+// decode of the same bytes, and the descent mode surviving the trip.
 func TestArtifactMmapLoad(t *testing.T) {
 	c := testContext(t, 100, 8, 53)
 	c.ForestTrees = 5
@@ -33,7 +33,7 @@ func TestArtifactMmapLoad(t *testing.T) {
 			t.Fatalf("%s: loaded %T", m.Name(), got)
 		}
 		if a.tree != nil || a.forest != nil || a.gbt != nil {
-			t.Fatalf("%s: version-3 load rebuilt a walked learner", m.Name())
+			t.Fatalf("%s: flat-payload load rebuilt a walked learner", m.Name())
 		}
 		fitMode := tr.(*classifierArtifact).DescentMode()
 		if a.DescentMode() != fitMode {

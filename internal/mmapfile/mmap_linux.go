@@ -8,9 +8,10 @@ import (
 	"syscall"
 )
 
-// Open maps path read-only. Empty files fall back to a heap read (a
-// zero-length mmap is EINVAL); any mmap failure degrades to the heap
-// read too, so callers never need a platform switch.
+// Open maps path read-only. Empty files are a clean error (a zero-length
+// mmap is EINVAL, and no caller has a use for one); any other mmap
+// failure degrades to a heap read, so callers never need a platform
+// switch.
 func Open(path string) (*File, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -23,7 +24,7 @@ func Open(path string) (*File, error) {
 	}
 	size := fi.Size()
 	if size == 0 {
-		return &File{}, nil
+		return nil, fmt.Errorf("mmapfile: %s is empty", path)
 	}
 	if size != int64(int(size)) {
 		return nil, fmt.Errorf("mmapfile: %s is %d bytes, beyond this platform's address space", path, size)

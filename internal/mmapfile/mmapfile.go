@@ -6,7 +6,10 @@
 // which is the edge-deployment story for large ensembles.
 package mmapfile
 
-import "os"
+import (
+	"fmt"
+	"os"
+)
 
 // File is one opened file's contents, either memory-mapped or read into
 // the heap. Data is read-only either way: writing to a mapped region
@@ -26,12 +29,17 @@ func (f *File) Data() []byte { return f.data }
 func (f *File) Mapped() bool { return f.mapped }
 
 // readFallback loads the file into the heap — the non-mmap platforms'
-// Open, and the empty-file path everywhere (mmap of zero bytes is an
-// error on Linux).
+// Open and the mmap-failure path. Zero-length files are a clean error on
+// every platform: no caller has a use for an empty buffer, and returning
+// one would push the failure into whatever section reader indexes past
+// it (historically, a 0-byte "mapping" that crashed the envelope decode).
 func readFallback(path string) (*File, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("mmapfile: %s is empty", path)
 	}
 	return &File{data: data}, nil
 }

@@ -1,0 +1,74 @@
+package mmapfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestOpenRejectsEmptyFile: a zero-length file is a clean error on every
+// platform, never a 0-byte buffer a section reader would index past.
+func TestOpenRejectsEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err == nil {
+		f.Close()
+		t.Fatal("Open on an empty file succeeded")
+	}
+	if !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("Open error %q does not name the cause", err)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); !os.IsNotExist(err) {
+		t.Fatalf("Open on a missing file = %v, want not-exist", err)
+	}
+}
+
+// TestOpenSmallFile: files smaller than any envelope header still open
+// fine — header validation is the caller's job, mmapfile only refuses
+// zero bytes.
+func TestOpenSmallFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny")
+	if err := os.WriteFile(path, []byte{0x42}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Data()) != 1 || f.Data()[0] != 0x42 {
+		t.Fatalf("Data = %v", f.Data())
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseSafety: Close is safe on a nil File (the failed-open path),
+// and idempotent on a real one.
+func TestCloseSafety(t *testing.T) {
+	var nilFile *File
+	if err := nilFile.Close(); err != nil {
+		t.Fatalf("Close on nil File = %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}

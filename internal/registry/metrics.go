@@ -16,4 +16,8 @@ var (
 	loadSeconds = obs.Default().Histogram("registry_load_seconds",
 		"artifact decode+verify latency per cold load (cache hits skip this)",
 		obs.LatencyBuckets)
+	quarantinedTotal = obs.Default().Counter("registry_quarantined_total",
+		"versions quarantined after failing checksum, decode or manifest cross-checks")
+	quarantinedNow = obs.Default().Gauge("registry_quarantined",
+		"versions currently quarantined on this process's registry handle")
 )

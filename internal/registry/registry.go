@@ -30,6 +30,7 @@
 package registry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -40,10 +41,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/binenc"
 	"repro/internal/bytelru"
+	"repro/internal/faultfs"
 	"repro/internal/forecast"
 	"repro/internal/modelcache"
 	"repro/internal/obs"
+	"repro/internal/retry"
 )
 
 // manifestName is the index file inside a registry directory.
@@ -86,6 +90,11 @@ type Version struct {
 	// Fingerprint is the training-dataset fingerprint as 16 hex digits
 	// (forecast.Context.DatasetFingerprint); "" for legacy artifacts.
 	Fingerprint string `json:"fingerprint"`
+	// Checksum is the artifact's whole-envelope content checksum as 32 hex
+	// digits (forecast.EnvelopeChecksum), stamped at publish; "" for legacy
+	// (pre-checksum) envelopes. Load cross-checks it so an artifact swapped
+	// or corrupted after publish fails loudly before serving.
+	Checksum string `json:"checksum,omitempty"`
 	// SizeBytes is the encoded artifact size on disk.
 	SizeBytes int64 `json:"size_bytes"`
 	// CreatedUnix is the publish time (Unix seconds).
@@ -131,10 +140,21 @@ type state struct {
 // concurrent use; writes (Publish, Prune, Refresh) are serialized.
 type Registry struct {
 	dir   string
+	fs    faultfs.FS                          // all disk I/O goes through this (faultfs.OS in production)
+	retry retry.Policy                        // transient-I/O backoff for Open/Refresh/Load
 	cache *modelcache.Cache[forecast.Trained] // nil when caching is disabled
 
 	mu  sync.Mutex // serializes writers and manifest swaps
 	cur atomic.Pointer[state]
+
+	// quar is the in-memory quarantine: version ID → reason. A version lands
+	// here when its artifact fails the checksum gate, decode, or a manifest
+	// cross-check; Latest skips quarantined versions so serving falls back to
+	// the newest version that still verifies. Quarantine is per-handle and
+	// deliberately not persisted — a fixed file (restored from backup,
+	// re-published) is picked up again on restart.
+	qmu  sync.Mutex
+	quar map[int]string
 
 	// failpoint, when non-nil, is consulted before each durability-critical
 	// step of a publish ("artifact-write", "artifact-sync",
@@ -149,10 +169,23 @@ type Registry struct {
 // if needed. cacheBytes bounds the decoded-artifact cache: 0 selects
 // forecast.DefaultModelCacheBytes, negative disables caching.
 func Open(dir string, cacheBytes int64) (*Registry, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(dir, cacheBytes, nil)
+}
+
+// OpenFS is Open through an injectable filesystem (nil means the real OS).
+// Every disk operation the registry performs — manifest reads, atomic
+// artifact writes, prune removals — goes through fsys, so the fault-
+// injection suite can corrupt, tear, or fail any step deterministically.
+// Transient I/O errors while reading the manifest are retried with
+// jittered backoff before Open gives up.
+func OpenFS(dir string, cacheBytes int64, fsys faultfs.FS) (*Registry, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("registry: %w", err)
 	}
-	r := &Registry{dir: dir}
+	r := &Registry{dir: dir, fs: fsys, retry: retry.Default(), quar: make(map[int]string)}
 	if cacheBytes >= 0 {
 		if cacheBytes == 0 {
 			cacheBytes = forecast.DefaultModelCacheBytes
@@ -162,7 +195,12 @@ func Open(dir string, cacheBytes int64) (*Registry, error) {
 		// reconfiguration) reports the live handle's cache.
 		bytelru.RegisterMetrics(obs.Default(), "registry", r.cache.Stats)
 	}
-	st, err := r.readManifest()
+	var st *state
+	err := r.retry.Do(context.Background(), func() error {
+		var rerr error
+		st, rerr = r.readManifest()
+		return rerr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -185,14 +223,14 @@ func (r *Registry) Generation() uint64 { return r.cur.Load().gen }
 // registry). Callers swap the returned state in under r.mu.
 func (r *Registry) readManifest() (*state, error) {
 	path := r.ManifestPath()
-	fi, err := os.Stat(path)
+	fi, err := r.fs.Stat(path)
 	if os.IsNotExist(err) {
 		return &state{m: &manifest{FormatVersion: formatVersion, NextID: 1}}, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("registry: %w", err)
 	}
-	data, err := os.ReadFile(path)
+	data, err := r.fs.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("registry: %w", err)
 	}
@@ -209,25 +247,38 @@ func (r *Registry) readManifest() (*state, error) {
 
 // Refresh re-reads the manifest if it changed on disk since this handle
 // last loaded it (another process published or pruned), reporting whether a
-// new manifest was picked up. Parse failures leave the current snapshot
-// serving.
+// new manifest was picked up. Transient I/O errors (a stat racing a
+// publisher's rename, an interrupted read) are retried with jittered
+// backoff before Refresh reports failure; parse failures leave the current
+// snapshot serving either way.
 func (r *Registry) Refresh() (bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	cur := r.cur.Load()
-	fi, err := os.Stat(r.ManifestPath())
-	if os.IsNotExist(err) {
-		return false, nil // nothing published yet; keep the empty snapshot
-	}
-	if err != nil {
-		return false, fmt.Errorf("registry: %w", err)
-	}
-	if fi.ModTime().Equal(cur.modTime) && fi.Size() == cur.size {
-		return false, nil
-	}
-	st, err := r.readManifest()
+	var changed bool
+	var st *state
+	err := r.retry.Do(context.Background(), func() error {
+		changed = false
+		st = nil
+		fi, err := r.fs.Stat(r.ManifestPath())
+		if os.IsNotExist(err) {
+			return nil // nothing published yet; keep the empty snapshot
+		}
+		if err != nil {
+			return fmt.Errorf("registry: %w", err)
+		}
+		if fi.ModTime().Equal(cur.modTime) && fi.Size() == cur.size {
+			return nil
+		}
+		changed = true
+		st, err = r.readManifest()
+		return err
+	})
 	if err != nil {
 		return false, err
+	}
+	if !changed {
+		return false, nil
 	}
 	st.gen = cur.gen + 1
 	r.cur.Store(st)
@@ -253,7 +304,7 @@ func (r *Registry) writeFileAtomic(name, kind string, data []byte) error {
 		_ = os.WriteFile(tmp, data[:len(data)/2], 0o644) // torn temp, as a crash mid-write leaves
 		return err
 	}
-	f, err := os.Create(tmp)
+	f, err := r.fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("registry: %w", err)
 	}
@@ -275,16 +326,16 @@ func (r *Registry) writeFileAtomic(name, kind string, data []byte) error {
 	if err := r.fail(kind + "-rename"); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := r.fs.Rename(tmp, path); err != nil {
 		return fmt.Errorf("registry: %w", err)
 	}
-	syncDir(r.dir)
+	r.syncDir()
 	return nil
 }
 
 // syncDir best-effort fsyncs the directory so the rename itself is durable.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
+func (r *Registry) syncDir() {
+	if d, err := r.fs.Open(r.dir); err == nil {
 		_ = d.Sync()
 		_ = d.Close()
 	}
@@ -345,6 +396,9 @@ func (r *Registry) Publish(tr forecast.Trained) (Version, error) {
 	if fp := tr.DatasetFingerprint(); fp != 0 {
 		v.Fingerprint = fmt.Sprintf("%016x", fp)
 	}
+	if sum := forecast.EnvelopeChecksum(data); !sum.IsZero() {
+		v.Checksum = sum.String()
+	}
 	if err := r.writeFileAtomic(v.File, "artifact", data); err != nil {
 		return Version{}, err
 	}
@@ -402,12 +456,54 @@ func (r *Registry) List() []Task {
 	return r.cur.Load().m.clone().Tasks
 }
 
-// Latest returns the newest version of key, if the task has any.
+// Quarantine marks version id as unservable with a reason. Latest skips
+// quarantined versions, so serving falls back to the newest version that
+// still verifies. Quarantining an already-quarantined version keeps the
+// first reason (the root cause).
+func (r *Registry) Quarantine(id int, reason string) {
+	r.qmu.Lock()
+	defer r.qmu.Unlock()
+	if _, dup := r.quar[id]; dup {
+		return
+	}
+	r.quar[id] = reason
+	quarantinedTotal.Inc()
+	quarantinedNow.Set(int64(len(r.quar)))
+}
+
+// IsQuarantined reports whether version id is quarantined on this handle.
+func (r *Registry) IsQuarantined(id int) bool {
+	r.qmu.Lock()
+	defer r.qmu.Unlock()
+	_, ok := r.quar[id]
+	return ok
+}
+
+// Quarantined returns a snapshot of the quarantine: version ID → reason.
+func (r *Registry) Quarantined() map[int]string {
+	r.qmu.Lock()
+	defer r.qmu.Unlock()
+	out := make(map[int]string, len(r.quar))
+	for id, reason := range r.quar {
+		out[id] = reason
+	}
+	return out
+}
+
+// Latest returns the newest non-quarantined version of key, if the task has
+// any. A task whose every version is quarantined reports none: serving a
+// known-corrupt artifact is worse than serving nothing.
 func (r *Registry) Latest(key TaskKey) (Version, bool) {
 	m := r.cur.Load().m
 	for i := range m.Tasks {
-		if m.Tasks[i].Key == key && len(m.Tasks[i].Versions) > 0 {
-			return m.Tasks[i].Versions[len(m.Tasks[i].Versions)-1], true
+		if m.Tasks[i].Key != key {
+			continue
+		}
+		vs := m.Tasks[i].Versions
+		for j := len(vs) - 1; j >= 0; j-- {
+			if !r.IsQuarantined(vs[j].ID) {
+				return vs[j], true
+			}
 		}
 	}
 	return Version{}, false
@@ -431,16 +527,29 @@ func (r *Registry) Get(key TaskKey, id int) (Version, bool) {
 
 // Load decodes v's artifact, through the registry's single-flight
 // byte-budgeted cache: concurrent readers of one version share one decode,
-// and hot versions stay resident within the byte budget. The manifest
-// metadata is cross-checked against the decoded artifact, so a swapped or
-// doctored file fails loudly.
+// and hot versions stay resident within the byte budget. The artifact's
+// envelope checksum and the manifest metadata (checksum, cutoff,
+// fingerprint) are cross-checked against the decoded artifact, so a
+// swapped, torn or doctored file fails loudly — and a failure that is not
+// transient I/O quarantines the version, making Latest fall back to the
+// newest version that still verifies.
 func (r *Registry) Load(v Version) (forecast.Trained, error) {
 	build := func() (forecast.Trained, error) {
 		l0 := time.Now()
 		defer func() { loadSeconds.ObserveDuration(time.Since(l0)) }()
-		tr, err := forecast.LoadModelFile(filepath.Join(r.dir, v.File))
+		tr, sum, err := forecast.LoadModelFileSum(r.fs, filepath.Join(r.dir, v.File))
 		if err != nil {
 			return nil, fmt.Errorf("registry: version %d: %w", v.ID, err)
+		}
+		if v.Checksum != "" {
+			want, perr := binenc.ParseSum(v.Checksum)
+			if perr != nil {
+				return nil, fmt.Errorf("registry: version %d: %w", v.ID, perr)
+			}
+			if sum != want {
+				return nil, fmt.Errorf("registry: version %d: artifact checksum %s does not match manifest %s",
+					v.ID, sum, want)
+			}
 		}
 		if tr.Cutoff() != v.Cutoff {
 			return nil, fmt.Errorf("registry: version %d: artifact cutoff %d does not match manifest cutoff %d",
@@ -452,6 +561,18 @@ func (r *Registry) Load(v Version) (forecast.Trained, error) {
 		}
 		return tr, nil
 	}
+	tr, err := r.load(v, build)
+	if err != nil && !retry.Transient(err) {
+		// Structural corruption (bad checksum, failed decode, metadata
+		// mismatch) does not heal by retrying: pull the version out of the
+		// serving rotation. Transient I/O is left alone — the file may be fine.
+		r.Quarantine(v.ID, err.Error())
+	}
+	return tr, err
+}
+
+// load runs build through the decoded-artifact cache when one is enabled.
+func (r *Registry) load(v Version, build func() (forecast.Trained, error)) (forecast.Trained, error) {
 	if r.cache == nil {
 		return build()
 	}
@@ -460,22 +581,106 @@ func (r *Registry) Load(v Version) (forecast.Trained, error) {
 	return r.cache.GetOrFit(modelcache.Key{Model: "registry:" + v.File, Cutoff: v.ID}, build)
 }
 
-// LoadLatest resolves and decodes the newest version of key, verifying the
-// artifact actually is that task's model.
+// LoadLatest resolves and decodes the newest loadable version of key,
+// verifying the artifact actually is that task's model. When the newest
+// version fails verification it is quarantined and the next-newest is
+// tried, walking back until a version loads clean — the serving fallback
+// that keeps a corrupted publish from taking a task down. The error from
+// the newest (first-tried) version is reported if no version loads.
 func (r *Registry) LoadLatest(key TaskKey) (forecast.Trained, Version, error) {
-	v, ok := r.Latest(key)
-	if !ok {
-		return nil, Version{}, fmt.Errorf("registry: no versions published for %s", key)
+	var firstErr error
+	for {
+		v, ok := r.Latest(key)
+		if !ok {
+			if firstErr != nil {
+				return nil, Version{}, fmt.Errorf("registry: no loadable version for %s: %w", key, firstErr)
+			}
+			return nil, Version{}, fmt.Errorf("registry: no versions published for %s", key)
+		}
+		tr, err := r.Load(v)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			if !r.IsQuarantined(v.ID) {
+				// Transient I/O: the artifact itself may be fine, so do not
+				// silently fall back to a stale version — surface the error.
+				return nil, Version{}, err
+			}
+			continue // quarantined by Load; Latest now resolves past it
+		}
+		if got := KeyFor(tr); got != key {
+			err := fmt.Errorf("registry: version %d: file %s holds %s, manifest says %s",
+				v.ID, v.File, got, key)
+			r.Quarantine(v.ID, err.Error())
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return tr, v, nil
 	}
-	tr, err := r.Load(v)
+}
+
+// VerifyResult is one version's fsck outcome.
+type VerifyResult struct {
+	Key     TaskKey
+	Version Version
+	Err     error // nil when the artifact verified clean
+}
+
+// VerifyAll checksums every artifact the manifest references against its
+// manifest entry — the registry fsck behind hotforecast -verify. Versions
+// that fail are quarantined on this handle. Results are returned for every
+// version, deterministic order (manifest task order, ascending ID).
+func (r *Registry) VerifyAll() []VerifyResult {
+	var out []VerifyResult
+	for _, task := range r.cur.Load().m.Tasks {
+		for _, v := range task.Versions {
+			err := r.verifyVersion(v)
+			if err != nil {
+				r.Quarantine(v.ID, err.Error())
+			}
+			out = append(out, VerifyResult{Key: task.Key, Version: v, Err: err})
+		}
+	}
+	return out
+}
+
+// verifyVersion checks one artifact file against its manifest entry without
+// decoding it into a servable model: size, envelope section checksums, the
+// manifest-stamped whole-envelope checksum, and — for legacy envelopes with
+// no checksum — the full structural decode.
+func (r *Registry) verifyVersion(v Version) error {
+	data, err := r.fs.ReadFile(filepath.Join(r.dir, v.File))
 	if err != nil {
-		return nil, Version{}, err
+		return fmt.Errorf("registry: version %d: %w", v.ID, err)
 	}
-	if got := KeyFor(tr); got != key {
-		return nil, Version{}, fmt.Errorf("registry: version %d: file %s holds %s, manifest says %s",
-			v.ID, v.File, got, key)
+	if int64(len(data)) != v.SizeBytes {
+		return fmt.Errorf("registry: version %d: artifact is %d bytes, manifest says %d",
+			v.ID, len(data), v.SizeBytes)
 	}
-	return tr, v, nil
+	sum, err := forecast.VerifyEnvelope(data)
+	if err != nil {
+		return fmt.Errorf("registry: version %d: %w", v.ID, err)
+	}
+	if v.Checksum != "" {
+		want, perr := binenc.ParseSum(v.Checksum)
+		if perr != nil {
+			return fmt.Errorf("registry: version %d: %w", v.ID, perr)
+		}
+		if sum != want {
+			return fmt.Errorf("registry: version %d: artifact checksum %s does not match manifest %s",
+				v.ID, sum, want)
+		}
+	} else if sum.IsZero() {
+		// Legacy envelope with no integrity block: the structural decode is
+		// the only verification available.
+		if _, err := forecast.DecodeModel(data); err != nil {
+			return fmt.Errorf("registry: version %d: %w", v.ID, err)
+		}
+	}
+	return nil
 }
 
 // CacheStats reports the decoded-artifact cache counters (zero value when
@@ -591,7 +796,7 @@ func (r *Registry) pruneAt(opts PruneOpts, now time.Time) ([]Version, error) {
 	st.gen = cur.gen + 1
 	r.cur.Store(st)
 	for _, v := range dropped {
-		_ = os.Remove(filepath.Join(r.dir, v.File))
+		_ = r.fs.Remove(filepath.Join(r.dir, v.File))
 	}
 	pruneDropsTotal.Add(uint64(len(dropped)))
 	return dropped, nil

@@ -332,7 +332,10 @@ func TestOpenRejectsCorruptManifest(t *testing.T) {
 }
 
 // TestLoadRejectsManifestMismatch: a version whose on-disk artifact no
-// longer matches the manifest metadata (swapped file) fails loudly.
+// longer matches the manifest metadata (swapped file) fails loudly. The
+// swapped file is internally consistent — its section sums verify — so the
+// manifest-stamped whole-envelope checksum is what catches the swap, and
+// the failure quarantines the version.
 func TestLoadRejectsManifestMismatch(t *testing.T) {
 	c := testContext(t, 80, 8, 17)
 	dir := t.TempDir()
@@ -345,7 +348,8 @@ func TestLoadRejectsManifestMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Swap v2's file for v1's bytes: cutoffs now disagree with the manifest.
+	// Swap v2's file for v1's bytes: the content no longer matches the
+	// manifest's stamped checksum (nor its cutoff).
 	data, err := os.ReadFile(filepath.Join(dir, v1.File))
 	if err != nil {
 		t.Fatal(err)
@@ -353,8 +357,11 @@ func TestLoadRejectsManifestMismatch(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, v2.File), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Load(v2); err == nil || !strings.Contains(err.Error(), "cutoff") {
+	if _, err := r.Load(v2); err == nil || !strings.Contains(err.Error(), "checksum") {
 		t.Fatalf("swapped artifact accepted (err=%v)", err)
+	}
+	if !r.IsQuarantined(v2.ID) {
+		t.Fatal("swapped artifact not quarantined")
 	}
 }
 
